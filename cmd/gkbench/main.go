@@ -1,0 +1,54 @@
+// Command gkbench regenerates the paper's tables and figures. Each
+// experiment prints measured values next to the paper's reference numbers.
+//
+// Usage:
+//
+//	gkbench -list                 # enumerate experiment IDs
+//	gkbench -exp fig4             # run one experiment
+//	gkbench -all                  # run everything
+//	gkbench -exp table2 -scale 5  # 5x the default workload sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = quick laptop sizes)")
+		seed  = flag.Int64("seed", 42, "dataset generation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-12s %-32s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+	opts := harness.Options{Out: os.Stdout, Scale: *scale, Seed: *seed}
+	switch {
+	case *all:
+		for _, id := range harness.IDs() {
+			if err := harness.Run(id, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "gkbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		if err := harness.Run(*exp, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "gkbench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "gkbench: nothing to do; use -exp ID, -all, or -list")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,112 @@
+// Command gkfilter runs pre-alignment filters on read/candidate pairs and
+// reports accuracy against the exact edit distance.
+//
+// Pairs come either from a registered dataset profile (-set) or from a TSV
+// file (-pairs) with one "read<TAB>reference" pair per line.
+//
+// Usage:
+//
+//	gkfilter -set set3 -n 10000 -e 5
+//	gkfilter -set set1 -n 5000 -e 2 -filter sneakysnake
+//	gkfilter -pairs pairs.tsv -e 4 -v
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/align"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/simdata"
+)
+
+func main() {
+	var (
+		setName    = flag.String("set", "set3", "dataset profile (set1..set12, minimap2, bwamem)")
+		pairsFile  = flag.String("pairs", "", "TSV file of read<TAB>reference pairs (overrides -set)")
+		n          = flag.Int("n", 10_000, "number of pairs to generate from -set")
+		e          = flag.Int("e", 5, "error threshold")
+		filterName = flag.String("filter", "gatekeeper-gpu", "filter to run")
+		seed       = flag.Int64("seed", 42, "generation seed")
+		verbose    = flag.Bool("v", false, "print one line per pair")
+	)
+	flag.Parse()
+
+	f, err := filter.New(*filterName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var reads, refs [][]byte
+	if *pairsFile != "" {
+		reads, refs, err = loadPairs(*pairsFile)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		profile, err := simdata.Set(*setName)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pc := range simdata.Generate(profile, *seed, *n) {
+			reads = append(reads, pc.Read)
+			refs = append(refs, pc.Ref)
+		}
+		fmt.Printf("# %s: %d pairs, e=%d, filter=%s\n", profile.Name, len(reads), *e, f.Name())
+	}
+
+	var c metrics.Confusion
+	for i := range reads {
+		d := f.Filter(reads[i], refs[i], *e)
+		trueDist := align.Distance(reads[i], refs[i])
+		c.Add(metrics.Outcome{TrueWithin: trueDist <= *e, Accept: d.Accept})
+		if *verbose {
+			fmt.Printf("pair %d: accept=%v estimate=%d edlib=%d undefined=%v\n",
+				i, d.Accept, d.Estimate, trueDist, d.Undefined)
+		}
+	}
+
+	fmt.Printf("pairs:         %s\n", metrics.FmtInt(c.Pairs))
+	fmt.Printf("edlib accepts: %s  rejects: %s\n", metrics.FmtInt(c.EdlibAccepts), metrics.FmtInt(c.EdlibRejects))
+	fmt.Printf("filter accepts:%s  rejects: %s\n", metrics.FmtInt(c.FilterAccepts), metrics.FmtInt(c.FilterRejects))
+	fmt.Printf("false accepts: %s (rate %s)\n", metrics.FmtInt(c.FalseAccepts), metrics.FmtPct(c.FalseAcceptRate()))
+	fmt.Printf("false rejects: %s\n", metrics.FmtInt(c.FalseRejects))
+	fmt.Printf("true rejects:  %s (rate %s)\n", metrics.FmtInt(c.TrueRejects), metrics.FmtPct(c.TrueRejectRate()))
+}
+
+func loadPairs(path string) (reads, refs [][]byte, err error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fh.Close()
+	sc := bufio.NewScanner(fh)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 || b[0] == '#' {
+			continue
+		}
+		parts := bytes.Split(b, []byte("\t"))
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("%s:%d: want read<TAB>reference", path, line)
+		}
+		if len(parts[0]) != len(parts[1]) {
+			return nil, nil, fmt.Errorf("%s:%d: unequal lengths %d/%d", path, line, len(parts[0]), len(parts[1]))
+		}
+		reads = append(reads, append([]byte(nil), parts[0]...))
+		refs = append(refs, append([]byte(nil), parts[1]...))
+	}
+	return reads, refs, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gkfilter: %v\n", err)
+	os.Exit(1)
+}

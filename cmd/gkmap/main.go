@@ -1,0 +1,164 @@
+// Command gkmap runs the mrFAST-style mapper end to end, optionally with
+// GateKeeper-GPU pre-alignment filtering, and reports the whole-genome
+// evaluation counters (Table 3's columns).
+//
+// Inputs are FASTA (reference) and FASTQ (reads); with -sim the tool
+// synthesizes both instead, which is how the paper-scale experiments run
+// without redistributable data.
+//
+// Usage:
+//
+//	gkmap -sim -genome 500000 -reads 5000 -e 5 -prefilter gpu
+//	gkmap -ref ref.fa -reads-file reads.fq -e 3 -prefilter none -sam out.sam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cuda"
+	"repro/internal/dna"
+	"repro/internal/gkgpu"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/simdata"
+)
+
+func main() {
+	var (
+		sim       = flag.Bool("sim", false, "simulate the reference and reads")
+		genomeLen = flag.Int("genome", 500_000, "simulated genome length")
+		nReads    = flag.Int("reads", 5_000, "simulated read count")
+		readLen   = flag.Int("readlen", 100, "read length (simulation)")
+		refFile   = flag.String("ref", "", "reference FASTA (when not -sim)")
+		readsFile = flag.String("reads-file", "", "reads FASTQ (when not -sim)")
+		e         = flag.Int("e", 5, "edit distance threshold")
+		preFilter = flag.String("prefilter", "gpu", "pre-alignment filter: gpu, cpu, or none")
+		encoding  = flag.String("encoding", "device", "encoding actor for the GPU engine: device or host")
+		nGPUs     = flag.Int("gpus", 1, "simulated GPU count")
+		batch     = flag.Int("batch", 100_000, "max reads per filtering batch")
+		samOut    = flag.String("sam", "", "write mappings as SAM to this file")
+		strands   = flag.Bool("both-strands", false, "also map reverse complements")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	var genome []byte
+	var seqs [][]byte
+	refName := "chrSim"
+	switch {
+	case *sim:
+		cfg := simdata.DefaultGenomeConfig(*genomeLen)
+		cfg.Seed = *seed
+		genome = simdata.Genome(cfg)
+		profile := simdata.Illumina100
+		profile.Length = *readLen
+		reads, err := simdata.SimulateReads(genome, profile, *nReads, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range reads {
+			seqs = append(seqs, r.Seq)
+		}
+	case *refFile != "" && *readsFile != "":
+		rf, err := os.Open(*refFile)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := dna.ReadFASTA(rf)
+		rf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if len(recs) == 0 {
+			fatal(fmt.Errorf("no sequences in %s", *refFile))
+		}
+		genome = recs[0].Seq
+		refName = recs[0].Name
+		qf, err := os.Open(*readsFile)
+		if err != nil {
+			fatal(err)
+		}
+		reads, err := dna.ReadFASTQ(qf)
+		qf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range reads {
+			seqs = append(seqs, r.Seq)
+		}
+		if len(seqs) > 0 {
+			*readLen = len(seqs[0])
+		}
+	default:
+		fatal(fmt.Errorf("provide -sim, or both -ref and -reads-file"))
+	}
+
+	cfg := mapper.Config{ReadLen: *readLen, MaxE: *e, MaxReadsPerBatch: *batch,
+		BothStrands: *strands, Traceback: *samOut != ""}
+	switch *preFilter {
+	case "gpu":
+		enc := gkgpu.EncodeOnDevice
+		if *encoding == "host" {
+			enc = gkgpu.EncodeOnHost
+		}
+		eng, err := gkgpu.NewEngine(gkgpu.Config{
+			ReadLen: *readLen, MaxE: *e, Encoding: enc, MaxBatchPairs: 1 << 16,
+		}, cuda.NewUniformContext(*nGPUs, cuda.GTX1080Ti()))
+		if err != nil {
+			fatal(err)
+		}
+		defer eng.Close()
+		cfg.Filter = eng
+	case "cpu":
+		cpu, err := gkgpu.NewCPUEngine(*readLen, *e, 12, gkgpu.Setup1(), cuda.DefaultCostModel())
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Filter = cpu
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown prefilter %q", *preFilter))
+	}
+
+	m, err := mapper.New(genome, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	mappings, st, err := m.MapReads(seqs, *e)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("reads:               %s\n", metrics.FmtInt(st.Reads))
+	fmt.Printf("candidate mappings:  %s\n", metrics.FmtInt(st.CandidatePairs))
+	fmt.Printf("verification pairs:  %s\n", metrics.FmtInt(st.VerificationPairs))
+	fmt.Printf("rejected pairs:      %s (%.1f%% reduction)\n",
+		metrics.FmtInt(st.RejectedPairs), 100*st.Reduction())
+	fmt.Printf("undefined pairs:     %s\n", metrics.FmtInt(st.UndefinedPairs))
+	fmt.Printf("mappings:            %s\n", metrics.FmtInt(st.Mappings))
+	fmt.Printf("mapped reads:        %s\n", metrics.FmtInt(st.MappedReads))
+	fmt.Printf("seeding:             %.3fs\n", st.SeedSeconds)
+	fmt.Printf("filter (wall):       %.3fs\n", st.FilterWallSeconds)
+	fmt.Printf("filter kernel model: %.4fs\n", st.FilterKernelModel)
+	fmt.Printf("verification:        %.3fs\n", st.VerifySeconds)
+	fmt.Printf("total:               %.3fs\n", st.TotalSeconds)
+
+	if *samOut != "" {
+		fh, err := os.Create(*samOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		if err := mapper.WriteSAM(fh, refName, len(genome), seqs, mappings); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *samOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gkmap: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command gksim synthesizes evaluation data: reference genomes (FASTA),
+// Mason-like read sets (FASTQ), and read/candidate pair files (TSV) from
+// the paper's dataset profiles.
+//
+// Usage:
+//
+//	gksim -mode genome -length 1000000 -out ref.fa
+//	gksim -mode reads -length 500000 -n 10000 -profile illumina100 -out reads.fq
+//	gksim -mode pairs -set set3 -n 30000 -out pairs.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dna"
+	"repro/internal/simdata"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "pairs", "what to generate: genome, reads, or pairs")
+		length  = flag.Int("length", 1_000_000, "genome length (genome/reads modes)")
+		n       = flag.Int("n", 10_000, "number of reads or pairs")
+		profile = flag.String("profile", "illumina100", "read profile: illumina50, illumina100, illumina250, simset1, simset2")
+		setName = flag.String("set", "set3", "pair-set profile (pairs mode)")
+		out     = flag.String("out", "", "output path (default stdout)")
+		seed    = flag.Int64("seed", 42, "generation seed")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		w = fh
+	}
+
+	switch *mode {
+	case "genome":
+		cfg := simdata.DefaultGenomeConfig(*length)
+		cfg.Seed = *seed
+		g := simdata.Genome(cfg)
+		if err := dna.WriteFASTA(w, []dna.Record{{Name: "chrSim", Seq: g}}); err != nil {
+			fatal(err)
+		}
+	case "reads":
+		rp, err := readProfile(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := simdata.DefaultGenomeConfig(*length)
+		cfg.Seed = *seed
+		g := simdata.Genome(cfg)
+		reads, err := simdata.SimulateReads(g, rp, *n, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		recs := make([]dna.Record, len(reads))
+		for i, r := range reads {
+			recs[i] = dna.Record{Name: fmt.Sprintf("read%d pos=%d", i, r.TruePos), Seq: r.Seq}
+		}
+		if err := dna.WriteFASTQ(w, recs); err != nil {
+			fatal(err)
+		}
+	case "pairs":
+		p, err := simdata.Set(*setName)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(w)
+		fmt.Fprintf(bw, "# %s, %d pairs, seed %d\n", p.Name, *n, *seed)
+		for _, pc := range simdata.Generate(p, *seed, *n) {
+			fmt.Fprintf(bw, "%s\t%s\n", pc.Read, pc.Ref)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func readProfile(name string) (simdata.ReadProfile, error) {
+	switch name {
+	case "illumina50":
+		return simdata.Illumina50, nil
+	case "illumina100":
+		return simdata.Illumina100, nil
+	case "illumina250":
+		return simdata.Illumina250, nil
+	case "simset1":
+		return simdata.SimSet1, nil
+	case "simset2":
+		return simdata.SimSet2, nil
+	default:
+		return simdata.ReadProfile{}, fmt.Errorf("unknown read profile %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gksim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package gatekeeper_test
+
+import (
+	"fmt"
+
+	gatekeeper "repro"
+)
+
+// ExampleNewKernel demonstrates single-pair filtering with the improved
+// GateKeeper algorithm: a pair within the threshold passes, a dissimilar
+// pair is rejected before any expensive alignment.
+func ExampleNewKernel() {
+	kern := gatekeeper.NewKernel(gatekeeper.ModeGPU, 32, 3)
+
+	read := []byte("ACGTACGTACGTACGTACGTACGTACGTACGT")
+	similar := []byte("ACGTACGTACGTAAGTACGTACGTACGTACGT")    // one substitution
+	dissimilar := []byte("TTGCAGTCAAGGCCTTAACCGGTTAAGGCAAT") // unrelated
+
+	d1 := kern.Filter(read, similar, 3)
+	d2 := kern.Filter(read, dissimilar, 3)
+	fmt.Printf("similar: accept=%v estimate=%d\n", d1.Accept, d1.Estimate)
+	fmt.Printf("dissimilar: accept=%v\n", d2.Accept)
+	// Output:
+	// similar: accept=true estimate=1
+	// dissimilar: accept=false
+}
+
+// ExampleNewKernel_undefined shows the paper's undefined-pair rule: pairs
+// containing unknown base calls bypass filtration and go straight to
+// verification.
+func ExampleNewKernel_undefined() {
+	kern := gatekeeper.NewKernel(gatekeeper.ModeGPU, 16, 2)
+	read := []byte("ACGTACGTACGTACGT")
+	withN := []byte("ACGTACGNACGTACGT")
+	d := kern.Filter(read, withN, 2)
+	fmt.Printf("accept=%v undefined=%v\n", d.Accept, d.Undefined)
+	// Output:
+	// accept=true undefined=true
+}
+
+// ExampleEditDistance shows the exact ground truth every accuracy
+// experiment measures filters against.
+func ExampleEditDistance() {
+	fmt.Println(gatekeeper.EditDistance([]byte("GATTACA"), []byte("GATTAGA")))
+	fmt.Println(gatekeeper.EditDistance([]byte("GATTACA"), []byte("GTTACA")))
+	// Output:
+	// 1
+	// 1
+}
+
+// ExampleNewEngine shows batched filtering through the simulated
+// GateKeeper-GPU engine.
+func ExampleNewEngine() {
+	eng, err := gatekeeper.NewEngine(gatekeeper.EngineConfig{
+		ReadLen: 16,
+		MaxE:    2,
+	}, 1, gatekeeper.GTX1080Ti())
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	read := []byte("ACGTACGTACGTACGT")
+	pairs := []gatekeeper.Pair{
+		{Read: read, Ref: []byte("ACGTACGTACGTACGT")}, // exact
+		{Read: read, Ref: []byte("TGCATGCATGCATGCA")}, // dissimilar
+	}
+	results, err := eng.FilterPairs(pairs, 2)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("pair %d: accept=%v\n", i, r.Accept)
+	}
+	fmt.Printf("rejected %d of %d\n", eng.Stats().Rejected, eng.Stats().Pairs)
+	// Output:
+	// pair 0: accept=true
+	// pair 1: accept=false
+	// rejected 1 of 2
+}

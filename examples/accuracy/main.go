@@ -1,0 +1,54 @@
+// Accuracy: compare all six pre-alignment filters against the exact edit
+// distance on one of the paper's dataset profiles — a miniature of Figure 5.
+//
+// Run with: go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gatekeeper "repro"
+)
+
+func main() {
+	profile, err := gatekeeper.Dataset("set1") // 100bp low-edit profile
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := gatekeeper.GeneratePairs(profile, 99, 2_000)
+	const e = 5
+
+	// Ground truth once per pair.
+	within := make([]bool, len(pairs))
+	rejects := 0
+	for i, p := range pairs {
+		within[i] = gatekeeper.EditDistance(p.Read, p.Ref) <= e
+		if !within[i] {
+			rejects++
+		}
+	}
+	fmt.Printf("%d pairs at e=%d; exact alignment rejects %d\n\n", len(pairs), e, rejects)
+	fmt.Printf("%-16s %13s %13s %9s\n", "filter", "false accepts", "false rejects", "FA rate")
+
+	genasm, err := gatekeeper.NewFilter("genasm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range append(gatekeeper.AllFilters(), genasm) {
+		fa, fr := 0, 0
+		for i, p := range pairs {
+			accept := f.Filter(p.Read, p.Ref, e).Accept
+			switch {
+			case accept && !within[i]:
+				fa++
+			case !accept && within[i]:
+				fr++
+			}
+		}
+		fmt.Printf("%-16s %13d %13d %8.2f%%\n", f.Name(), fa, fr, 100*float64(fa)/float64(rejects))
+	}
+
+	fmt.Println("\nExpected ordering (paper Figure 5): SneakySnake & MAGNET lowest,")
+	fmt.Println("then Shouji, then GateKeeper-GPU, with GateKeeper-FPGA == SHD highest.")
+}

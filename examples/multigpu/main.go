@@ -1,0 +1,64 @@
+// Multi-GPU: scale GateKeeper-GPU from one to eight simulated GTX 1080 Ti
+// devices and watch kernel-time throughput grow — Figure 8 in miniature,
+// for both encoding actors. A real filtering run on multiple simulated
+// devices backs the numbers; throughput itself is modelled at the paper's
+// 30M-pair scale where compute dominates launch overhead.
+//
+// Run with: go run ./examples/multigpu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gatekeeper "repro"
+)
+
+func main() {
+	profile, err := gatekeeper.Dataset("set3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := gatekeeper.GeneratePairs(profile, 5, 4_000)
+	const e = 2
+
+	// Real execution across simulated devices: decisions must not depend on
+	// the device count.
+	var firstRejects int64
+	for _, n := range []int{1, 8} {
+		eng, err := gatekeeper.NewEngine(gatekeeper.EngineConfig{
+			ReadLen: 100, MaxE: e, MaxBatchPairs: 1 << 14,
+		}, n, gatekeeper.GTX1080Ti())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := eng.FilterPairs(pairs, e); err != nil {
+			log.Fatal(err)
+		}
+		st := eng.Stats()
+		if n == 1 {
+			firstRejects = st.Rejected
+		} else if st.Rejected != firstRejects {
+			log.Fatalf("device count changed decisions: %d vs %d rejects", st.Rejected, firstRejects)
+		}
+		fmt.Printf("real run on %d device(s): %d pairs, %d rejected\n", n, st.Pairs, st.Rejected)
+		eng.Close()
+	}
+
+	// Modelled throughput at paper scale (30M pairs, 100bp, e=2).
+	model := gatekeeper.DefaultCostModel()
+	spec := gatekeeper.GTX1080Ti()
+	fmt.Println("\nKernel-time throughput vs device count (30M pairs, 100bp, e=2):")
+	fmt.Printf("%5s  %18s  %18s\n", "GPUs", "device-encoded", "host-encoded")
+	for _, n := range []int{1, 2, 4, 8} {
+		var cells []string
+		for _, deviceEncoded := range []bool{true, false} {
+			w := gatekeeper.Workload{Pairs: 30_000_000, ReadLen: 100, E: e, DeviceEncoded: deviceEncoded}
+			kt := model.MultiGPUKernelSeconds(spec, w, n)
+			cells = append(cells, fmt.Sprintf("%10.0f M/s", 30_000_000/kt/1e6))
+		}
+		fmt.Printf("%5d  %18s  %18s\n", n, cells[0], cells[1])
+	}
+	fmt.Println("\nExpected shape (paper Figure 8): host-encoded kernels scale near-linearly")
+	fmt.Println("(199 -> 1333 M/s in the paper); device-encoded scaling is flatter (102 -> 496 M/s).")
+}

@@ -1,0 +1,150 @@
+package gatekeeper
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// These tests exercise the public facade end to end — the same calls a
+// downstream user would make.
+
+func TestPublicFilterRoundTrip(t *testing.T) {
+	f, err := NewFilter("gatekeeper-gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	read := dna.RandomSeq(rng, 100)
+	if d := f.Filter(read, read, 2); !d.Accept {
+		t.Fatal("exact match rejected")
+	}
+	other := dna.RandomSeq(rng, 100)
+	if d := f.Filter(read, other, 2); d.Accept {
+		t.Fatal("random pair accepted at e=2")
+	}
+	if len(AllFilters()) != 6 {
+		t.Fatal("AllFilters should expose the six filters of the paper")
+	}
+}
+
+func TestPublicKernel(t *testing.T) {
+	k := NewKernel(ModeGPU, 100, 5)
+	rng := rand.New(rand.NewSource(2))
+	read := dna.RandomSeq(rng, 100)
+	mutated := dna.MutateSubstitutions(rng, read, 3)
+	d := k.Filter(read, mutated, 5)
+	if !d.Accept || d.Estimate > 5 {
+		t.Fatalf("3 substitutions at e=5: %+v", d)
+	}
+}
+
+func TestPublicEngineEndToEnd(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{ReadLen: 100, MaxE: 5, MaxBatchPairs: 512}, 2, GTX1080Ti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	profile, err := Dataset("set3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := GeneratePairs(profile, 3, 400)
+	res, err := eng.FilterPairs(pairs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 400 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// No false rejects against the public ground truth.
+	for i, p := range pairs {
+		if EditDistance(p.Read, p.Ref) <= 5 && !res[i].Accept {
+			t.Fatalf("false reject at pair %d", i)
+		}
+	}
+	st := eng.Stats()
+	if st.Pairs != 400 || st.KernelSeconds <= 0 {
+		t.Fatalf("engine stats implausible: %+v", st)
+	}
+}
+
+func TestPublicCPUEngine(t *testing.T) {
+	cpu, err := NewCPUEngine(100, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _ := Dataset("set1")
+	pairs := GeneratePairs(profile, 4, 100)
+	res, err := cpu.FilterPairs(pairs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 100 {
+		t.Fatal("result length mismatch")
+	}
+}
+
+func TestPublicMapper(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	genome := dna.RandomSeq(rng, 60_000)
+	eng, err := NewEngine(EngineConfig{ReadLen: 100, MaxE: 4, MaxBatchPairs: 1024}, 1, GTX1080Ti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	m, err := NewMapper(genome, MapperConfig{ReadLen: 100, MaxE: 4, Filter: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads [][]byte
+	for i := 0; i < 30; i++ {
+		pos := rng.Intn(len(genome) - 100)
+		reads = append(reads, dna.MutateSubstitutions(rng, genome[pos:pos+100], 2))
+	}
+	mappings, st, err := m.MapReads(reads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MappedReads != int64(len(reads)) {
+		t.Fatalf("only %d/%d reads mapped", st.MappedReads, len(reads))
+	}
+	if len(mappings) == 0 {
+		t.Fatal("no mappings")
+	}
+}
+
+func TestPublicSetups(t *testing.T) {
+	if Setup1().Name == "" || Setup2().Name == "" {
+		t.Fatal("setups incomplete")
+	}
+	if GTX1080Ti().Cores() != 3584 || TeslaK20X().Cores() != 2688 {
+		t.Fatal("device models wrong")
+	}
+	if Version == "" {
+		t.Fatal("version empty")
+	}
+	if _, err := Dataset("never"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := NewFilter("never"); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}
+
+func TestEncodingActorsExposed(t *testing.T) {
+	if EncodeOnDevice == EncodeOnHost {
+		t.Fatal("encoding actors must differ")
+	}
+	eng, err := NewEngine(EngineConfig{ReadLen: 100, MaxE: 3, Encoding: EncodeOnHost,
+		MaxBatchPairs: 256}, 1, TeslaK20X())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	profile, _ := Dataset("set1")
+	if _, err := eng.FilterPairs(GeneratePairs(profile, 6, 50), 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package align provides exact edit-distance computation for the
+// reproduction. The paper uses Edlib's global alignment as ground truth for
+// every accuracy experiment; Edlib is an implementation of Myers' 1999
+// bit-vector algorithm, which this package reimplements (blocked variant for
+// sequences longer than one machine word, per Hyyrö 2003). A banded
+// dynamic-programming Levenshtein (Ukkonen) serves as the mapper's
+// verification kernel, and a plain quadratic DP acts as the reference
+// implementation in tests.
+package align
+
+import "math"
+
+const (
+	wordBits = 64
+	highBit  = uint64(1) << (wordBits - 1)
+)
+
+// Distance returns the global (Needleman-Wunsch / Levenshtein) edit distance
+// between a and b using the blocked Myers bit-vector algorithm. It matches
+// Edlib's NW mode: every character is an ordinary symbol, so 'N' matches only
+// 'N'.
+func Distance(a, b []byte) int {
+	m, n := len(a), len(b)
+	if m == 0 {
+		return n
+	}
+	if n == 0 {
+		return m
+	}
+	// Myers' algorithm treats `a` as the pattern (rows). Keeping the pattern
+	// as the shorter string minimizes the block count.
+	if m > n {
+		a, b = b, a
+		m, n = n, m
+	}
+	blocks := (m + wordBits - 1) / wordBits
+	peq := buildPeq(a, blocks)
+	zero := make([]uint64, blocks)
+
+	pv := make([]uint64, blocks)
+	mv := make([]uint64, blocks)
+	for i := range pv {
+		pv[i] = ^uint64(0)
+	}
+	lastBit := uint((m - 1) % wordBits)
+	score := m
+	for j := 0; j < n; j++ {
+		eqAll := peq[b[j]]
+		if eqAll == nil {
+			eqAll = zero
+		}
+		hin := 1 // global mode: the first DP row is 0,1,2,...
+		for blk := 0; blk < blocks; blk++ {
+			var hout int
+			pv[blk], mv[blk], hout = advanceBlock(pv[blk], mv[blk], eqAll[blk], hin,
+				blk == blocks-1, lastBit)
+			hin = hout
+		}
+		score += hin
+	}
+	return score
+}
+
+// advanceBlock performs one column step of Hyyrö's blocked Myers algorithm on
+// a single 64-row block. hin is the horizontal delta entering the block from
+// above (-1, 0, +1); the returned hout is the horizontal delta at the block's
+// last row — or, when last is set, at lastBit (the final pattern row, which
+// may fall inside a partially used block).
+func advanceBlock(pv, mv, eq uint64, hin int, last bool, lastBit uint) (pvOut, mvOut uint64, hout int) {
+	var hinIsNeg, hinIsPos uint64
+	if hin < 0 {
+		hinIsNeg = 1
+	} else if hin > 0 {
+		hinIsPos = 1
+	}
+	xv := eq | mv
+	eq |= hinIsNeg
+	xh := (((eq & pv) + pv) ^ pv) | eq
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+
+	outBit := uint(wordBits - 1)
+	if last {
+		outBit = lastBit
+	}
+	hout = int((ph>>outBit)&1) - int((mh>>outBit)&1)
+
+	ph = ph<<1 | hinIsPos
+	mh = mh<<1 | hinIsNeg
+	pvOut = mh | ^(xv | ph)
+	mvOut = ph & xv
+	return pvOut, mvOut, hout
+}
+
+// buildPeq precomputes the match bitvectors: peq[c][blk] has bit i set when
+// pattern row blk*64+i equals byte c. Characters absent from the pattern map
+// to nil (treated as an all-zero row set).
+func buildPeq(pattern []byte, blocks int) [256][]uint64 {
+	var peq [256][]uint64
+	for i, c := range pattern {
+		if peq[c] == nil {
+			peq[c] = make([]uint64, blocks)
+		}
+		peq[c][i/wordBits] |= uint64(1) << uint(i%wordBits)
+	}
+	return peq
+}
+
+// DistanceBanded computes the global edit distance between a and b if it
+// does not exceed maxDist, using Ukkonen's banded DP in O((max+1)·len) time.
+// It returns (distance, true) when distance ≤ maxDist and (0, false)
+// otherwise. This is the mapper's verification kernel — the
+// computationally-expensive stage the pre-alignment filter protects.
+func DistanceBanded(a, b []byte, maxDist int) (int, bool) {
+	m, n := len(a), len(b)
+	if maxDist < 0 {
+		return 0, false
+	}
+	if abs(m-n) > maxDist {
+		return 0, false
+	}
+	if m == 0 {
+		return n, n <= maxDist
+	}
+	if n == 0 {
+		return m, m <= maxDist
+	}
+	// Band half-width: cells with |i-j| > maxDist can never contribute.
+	const inf = math.MaxInt32
+	width := 2*maxDist + 1
+	prev := make([]int, width)
+	cur := make([]int, width)
+	// Row 0: D[0][j] = j for j in [0, maxDist].
+	for k := 0; k < width; k++ {
+		j := k - maxDist // column offset relative to diagonal of row 0
+		if j >= 0 && j <= n && j <= maxDist {
+			prev[k] = j
+		} else {
+			prev[k] = inf
+		}
+	}
+	for i := 1; i <= m; i++ {
+		rowMin := inf
+		for k := 0; k < width; k++ {
+			j := i + k - maxDist
+			if j < 0 || j > n {
+				cur[k] = inf
+				continue
+			}
+			best := inf
+			if j == 0 {
+				best = i
+			} else {
+				// Substitution / match: prev row, same k (diagonal).
+				if prev[k] != inf {
+					cost := 1
+					if a[i-1] == b[j-1] {
+						cost = 0
+					}
+					best = prev[k] + cost
+				}
+				// Deletion from a: prev row, k+1.
+				if k+1 < width && prev[k+1] != inf && prev[k+1]+1 < best {
+					best = prev[k+1] + 1
+				}
+				// Insertion into a: current row, k-1.
+				if k-1 >= 0 && cur[k-1] != inf && cur[k-1]+1 < best {
+					best = cur[k-1] + 1
+				}
+			}
+			cur[k] = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if rowMin > maxDist {
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	k := n - m + maxDist
+	if k < 0 || k >= width || prev[k] > maxDist {
+		return 0, false
+	}
+	return prev[k], true
+}
+
+// DistanceDP is the plain quadratic Levenshtein DP. It exists as the
+// unambiguous reference implementation for property tests and worked
+// examples; production paths use Distance or DistanceBanded.
+func DistanceDP(a, b []byte) int {
+	m, n := len(a), len(b)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if prev[j]+1 < best {
+				best = prev[j] + 1
+			}
+			if cur[j-1]+1 < best {
+				best = cur[j-1] + 1
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// HammingDistance counts positional mismatches between equal-length slices;
+// it panics if lengths differ (callers validate first).
+func HammingDistance(a, b []byte) int {
+	if len(a) != len(b) {
+		panic("align: HammingDistance on unequal lengths")
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

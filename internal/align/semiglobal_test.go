@@ -1,0 +1,98 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestDistanceSemiGlobalKnown(t *testing.T) {
+	cases := []struct {
+		pattern, text string
+		want          int
+	}{
+		{"ACGT", "TTTACGTTTT", 0}, // exact infix
+		{"ACGT", "TTTACCTTTT", 1},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "TTTT", 3}, // best infix shares the final T
+		{"AAAA", "CCCC", 4},
+		{"", "ACGT", 0},
+		{"ACGT", "", 4},
+	}
+	for _, c := range cases {
+		if got := DistanceSemiGlobal([]byte(c.pattern), []byte(c.text)); got != c.want {
+			t.Errorf("SemiGlobal(%q,%q) = %d, want %d", c.pattern, c.text, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSemiGlobalAgainstDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(150)
+		n := 1 + rng.Intn(250)
+		pattern := dna.RandomSeq(rng, m)
+		text := dna.RandomSeq(rng, n)
+		if trial%2 == 0 && n > m {
+			// Plant the pattern so both regimes are exercised.
+			pos := rng.Intn(n - m)
+			copy(text[pos:], dna.MutateSubstitutions(rng, pattern, rng.Intn(4)))
+		}
+		want := refSemiGlobalDP(pattern, text, true)
+		if got := DistanceSemiGlobal(pattern, text); got != want {
+			t.Fatalf("trial %d (m=%d n=%d): SemiGlobal=%d, DP=%d", trial, m, n, got, want)
+		}
+	}
+}
+
+func TestDistancePrefixAgainstDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(150)
+		n := 1 + rng.Intn(250)
+		pattern := dna.RandomSeq(rng, m)
+		text := dna.RandomSeq(rng, n)
+		if trial%2 == 0 && n > m {
+			copy(text, dna.MutateSubstitutions(rng, pattern, rng.Intn(4)))
+		}
+		want := refSemiGlobalDP(pattern, text, false)
+		if got := DistancePrefix(pattern, text); got != want {
+			t.Fatalf("trial %d (m=%d n=%d): Prefix=%d, DP=%d", trial, m, n, got, want)
+		}
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	// HW <= SHW <= NW for any inputs: each mode frees strictly more gaps.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		pattern := dna.RandomSeq(rng, 1+rng.Intn(100))
+		text := dna.RandomSeq(rng, 1+rng.Intn(150))
+		hw := DistanceSemiGlobal(pattern, text)
+		shw := DistancePrefix(pattern, text)
+		nw := Distance(pattern, text)
+		if hw > shw || shw > nw {
+			t.Fatalf("mode ordering violated: HW=%d SHW=%d NW=%d", hw, shw, nw)
+		}
+	}
+}
+
+func TestSemiGlobalExtendedWindowVerification(t *testing.T) {
+	// The mrFAST-style use: verify a read against a window extended by e on
+	// both sides; an indel-shifted read still verifies at its true site.
+	rng := rand.New(rand.NewSource(4))
+	genome := dna.RandomSeq(rng, 10_000)
+	for trial := 0; trial < 50; trial++ {
+		pos := 100 + rng.Intn(9_000)
+		read := append([]byte(nil), genome[pos:pos+100]...)
+		read = dna.ApplyEdits(read, dna.RandomEdits(rng, 100, 3, 0.8))
+		if len(read) > 100 {
+			read = read[:100]
+		}
+		window := genome[pos-5 : pos+105]
+		if d := DistanceSemiGlobal(read, window); d > 4 {
+			t.Fatalf("trial %d: semi-global distance %d at the true site", trial, d)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is one alignment operation in CIGAR vocabulary.
+type Op byte
+
+// Alignment operations ('=' match, 'X' mismatch, 'I' insertion into the
+// read, 'D' deletion from the read).
+const (
+	OpMatch    Op = '='
+	OpMismatch Op = 'X'
+	OpIns      Op = 'I'
+	OpDel      Op = 'D'
+)
+
+// Alignment is the result of a global alignment with traceback.
+type Alignment struct {
+	Distance int
+	Ops      []Op // one entry per alignment column, read-major order
+}
+
+// CIGAR renders the operations run-length encoded, extended style
+// (=/X/I/D). Use CIGARCompat for the classic M-style string.
+func (a Alignment) CIGAR() string {
+	return renderCigar(a.Ops, func(op Op) byte { return byte(op) })
+}
+
+// CIGARCompat renders the classic SAM CIGAR where matches and mismatches
+// both appear as 'M'.
+func (a Alignment) CIGARCompat() string {
+	return renderCigar(a.Ops, func(op Op) byte {
+		if op == OpMatch || op == OpMismatch {
+			return 'M'
+		}
+		return byte(op)
+	})
+}
+
+func renderCigar(ops []Op, classify func(Op) byte) string {
+	if len(ops) == 0 {
+		return "*"
+	}
+	var sb strings.Builder
+	runClass := classify(ops[0])
+	runLen := 1
+	for _, op := range ops[1:] {
+		c := classify(op)
+		if c == runClass {
+			runLen++
+			continue
+		}
+		fmt.Fprintf(&sb, "%d%c", runLen, runClass)
+		runClass, runLen = c, 1
+	}
+	fmt.Fprintf(&sb, "%d%c", runLen, runClass)
+	return sb.String()
+}
+
+// Align computes a global alignment of a (the read) against b within a
+// banded edit-distance budget, returning the distance and traceback. It
+// returns ok=false when the distance exceeds maxDist. The full DP band is
+// materialized for traceback, so memory is O((2·maxDist+1)·len(a)).
+func Align(a, b []byte, maxDist int) (Alignment, bool) {
+	m, n := len(a), len(b)
+	if maxDist < 0 || abs(m-n) > maxDist {
+		return Alignment{}, false
+	}
+	const inf = int(^uint(0) >> 2)
+	width := 2*maxDist + 1
+	// rows[i][k] is D[i][j] with j = i + k - maxDist.
+	rows := make([][]int, m+1)
+	for i := range rows {
+		rows[i] = make([]int, width)
+		for k := range rows[i] {
+			rows[i][k] = inf
+		}
+	}
+	for k := 0; k < width; k++ {
+		if j := k - maxDist; j >= 0 && j <= n && j <= maxDist {
+			rows[0][k] = j
+		}
+	}
+	for i := 1; i <= m; i++ {
+		rowMin := inf
+		for k := 0; k < width; k++ {
+			j := i + k - maxDist
+			if j < 0 || j > n {
+				continue
+			}
+			best := inf
+			if j == 0 {
+				best = i
+			} else {
+				if rows[i-1][k] != inf {
+					cost := 1
+					if a[i-1] == b[j-1] {
+						cost = 0
+					}
+					best = rows[i-1][k] + cost
+				}
+				if k+1 < width && rows[i-1][k+1] != inf && rows[i-1][k+1]+1 < best {
+					best = rows[i-1][k+1] + 1
+				}
+				if k-1 >= 0 && rows[i][k-1] != inf && rows[i][k-1]+1 < best {
+					best = rows[i][k-1] + 1
+				}
+			}
+			rows[i][k] = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if rowMin > maxDist {
+			return Alignment{}, false
+		}
+	}
+	endK := n - m + maxDist
+	if endK < 0 || endK >= width || rows[m][endK] > maxDist {
+		return Alignment{}, false
+	}
+
+	// Traceback from (m, n).
+	var ops []Op
+	i, k := m, endK
+	for {
+		j := i + k - maxDist
+		if i == 0 && j == 0 {
+			break
+		}
+		cur := rows[i][k]
+		switch {
+		case i > 0 && j > 0 && rows[i-1][k] != inf &&
+			((a[i-1] == b[j-1] && rows[i-1][k] == cur) ||
+				(a[i-1] != b[j-1] && rows[i-1][k]+1 == cur)):
+			if a[i-1] == b[j-1] {
+				ops = append(ops, OpMatch)
+			} else {
+				ops = append(ops, OpMismatch)
+			}
+			i--
+		case i > 0 && k+1 < width && rows[i-1][k+1] != inf && rows[i-1][k+1]+1 == cur:
+			// Consumed a read base without a reference base.
+			ops = append(ops, OpIns)
+			i--
+			k++
+		case j > 0 && k-1 >= 0 && rows[i][k-1] != inf && rows[i][k-1]+1 == cur:
+			ops = append(ops, OpDel)
+			k--
+		case j == 0:
+			ops = append(ops, OpIns)
+			i--
+			k++
+		default:
+			// Unreachable when the DP is consistent.
+			return Alignment{}, false
+		}
+	}
+	// Reverse into read-major order.
+	for lo, hi := 0, len(ops)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		ops[lo], ops[hi] = ops[hi], ops[lo]
+	}
+	return Alignment{Distance: rows[m][endK], Ops: ops}, true
+}

@@ -1,0 +1,448 @@
+// Package bitvec implements the 32-bit-word bitvector machinery of the
+// GateKeeper-GPU kernel. The FPGA original manipulates one arbitrarily long
+// register per sequence; a GPU (and this Go port) instead holds an array of
+// 32-bit words, so every bitwise shift must transfer carry bits between
+// adjacent array elements (paper Section 3.4: "logical shift operations
+// produce incorrect bits between array's elements. For correcting these
+// bits, we apply carry-bit transfers").
+//
+// Two representations appear here:
+//
+//   - encoded vectors: 2 bits per base, 16 bases per word (dna.Encode layout);
+//     XOR and character shifts happen in this domain.
+//   - character masks: 1 bit per base, 32 bases per word, produced by
+//     collapsing each 2-bit XOR pair with OR ("every two-bit is combined with
+//     bitwise OR to simplify the differences").
+//
+// Bit order is little-endian throughout: base i of an encoded vector lives at
+// bits [2i, 2i+1] of word i/16; base i of a mask lives at bit i%32 of word
+// i/32.
+package bitvec
+
+import "math/bits"
+
+// CharsPerEncodedWord is the number of bases per encoded 32-bit word.
+const CharsPerEncodedWord = 16
+
+// CharsPerMaskWord is the number of bases per mask word.
+const CharsPerMaskWord = 32
+
+// EncodedWords returns the number of encoded words for n bases.
+func EncodedWords(n int) int { return (n + CharsPerEncodedWord - 1) / CharsPerEncodedWord }
+
+// MaskWords returns the number of mask words for n bases.
+func MaskWords(n int) int { return (n + CharsPerMaskWord - 1) / CharsPerMaskWord }
+
+// ShiftCharsUp writes into dst the encoded vector src shifted k characters
+// towards higher positions (dst base i = src base i-k; the k lowest bases are
+// vacated as zeros). This is the "deletion" shift of the GateKeeper loop.
+// dst and src must have equal length; aliasing dst==src is not supported.
+func ShiftCharsUp(dst, src []uint32, k int) {
+	shiftBitsUp(dst, src, uint(2*k))
+}
+
+// ShiftCharsDown writes into dst the encoded vector src shifted k characters
+// towards lower positions (dst base i = src base i+k; the k highest bases are
+// vacated as zeros). This is the "insertion" shift of the GateKeeper loop.
+func ShiftCharsDown(dst, src []uint32, k int) {
+	shiftBitsDown(dst, src, uint(2*k))
+}
+
+// shiftBitsUp performs a little-endian left shift by n bits across the word
+// array, applying the carry-bit transfer from each lower word into its upper
+// neighbour — one carry operation per word boundary, exactly the correction
+// the paper describes for the GPU port.
+func shiftBitsUp(dst, src []uint32, n uint) {
+	wordShift := int(n / 32)
+	bitShift := n % 32
+	for i := len(dst) - 1; i >= 0; i-- {
+		var w uint32
+		if j := i - wordShift; j >= 0 {
+			w = src[j] << bitShift
+			// Carry-bit transfer: pull the bits that the per-word shift
+			// pushed out of the previous array element.
+			if bitShift != 0 && j-1 >= 0 {
+				w |= src[j-1] >> (32 - bitShift)
+			}
+		}
+		dst[i] = w
+	}
+}
+
+// shiftBitsDown performs a little-endian right shift by n bits across the
+// word array with carry-bit transfers from each upper word into its lower
+// neighbour.
+func shiftBitsDown(dst, src []uint32, n uint) {
+	wordShift := int(n / 32)
+	bitShift := n % 32
+	for i := 0; i < len(dst); i++ {
+		var w uint32
+		if j := i + wordShift; j < len(src) {
+			w = src[j] >> bitShift
+			if bitShift != 0 && j+1 < len(src) {
+				w |= src[j+1] << (32 - bitShift)
+			}
+		}
+		dst[i] = w
+	}
+}
+
+// ExtractChars copies n characters starting at character offset `start` of
+// a long encoded vector into dst (EncodedWords(n) words), shifting across
+// word boundaries as needed. This is how the GateKeeper-GPU kernel pulls a
+// candidate reference segment out of the unified-memory encoded reference
+// ("each thread executes a single comparison, starting with extracting the
+// relevant reference segment based on the index", Section 3.5).
+func ExtractChars(dst, src []uint32, start, n int) {
+	wordOff := start / CharsPerEncodedWord
+	bitOff := uint(start%CharsPerEncodedWord) * 2
+	outWords := EncodedWords(n)
+	for i := 0; i < outWords; i++ {
+		var w uint32
+		if j := wordOff + i; j < len(src) {
+			w = src[j] >> bitOff
+			if bitOff != 0 && j+1 < len(src) {
+				w |= src[j+1] << (32 - bitOff)
+			}
+		}
+		dst[i] = w
+	}
+	// Zero the 2-bit lanes beyond n so padding cannot alias as bases.
+	if rem := n % CharsPerEncodedWord; rem != 0 {
+		dst[outWords-1] &= (uint32(1) << uint(2*rem)) - 1
+	}
+}
+
+// XorInto writes a^b into dst; all three slices must have equal length.
+func XorInto(dst, a, b []uint32) {
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// AndInto writes a&b into dst.
+func AndInto(dst, a, b []uint32) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// OrInto writes a|b into dst.
+func OrInto(dst, a, b []uint32) {
+	for i := range dst {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+// extractEven compresses the 16 even-indexed bits of x (bits 0,2,4,...,30)
+// into the low 16 bits of the result, preserving order.
+func extractEven(x uint32) uint32 {
+	x &= 0x55555555
+	x = (x | x>>1) & 0x33333333
+	x = (x | x>>2) & 0x0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF
+	x = (x | x>>8) & 0x0000FFFF
+	return x
+}
+
+// Collapse reduces an encoded-domain XOR result (2 bits per base) to a
+// character mask (1 bit per base): mask bit i = OR of the two bits encoding
+// base i. dst must have MaskWords(n) words for n = 16*len(src) bases.
+func Collapse(dst, src []uint32) {
+	for m := range dst {
+		lo2 := 2 * m
+		var low, high uint32
+		if lo2 < len(src) {
+			w := src[lo2]
+			low = extractEven(w | w>>1)
+		}
+		if lo2+1 < len(src) {
+			w := src[lo2+1]
+			high = extractEven(w | w>>1)
+		}
+		dst[m] = low | high<<16
+	}
+}
+
+// SetLeadingOnes forces the k lowest mask bits to 1. GateKeeper-GPU applies
+// this to each k-shifted deletion mask so the positions vacated by the shift
+// read as potential errors instead of silently matching (the Figure 2
+// accuracy fix).
+func SetLeadingOnes(mask []uint32, k int) {
+	for i := 0; i < len(mask) && k > 0; i++ {
+		if k >= 32 {
+			mask[i] = ^uint32(0)
+			k -= 32
+			continue
+		}
+		mask[i] |= (uint32(1) << uint(k)) - 1
+		return
+	}
+}
+
+// SetTrailingOnes forces the k highest in-range mask bits to 1 for a mask of
+// n bases — the insertion-mask counterpart of SetLeadingOnes.
+func SetTrailingOnes(mask []uint32, n, k int) {
+	if k > n {
+		k = n
+	}
+	for pos := n - k; pos < n; {
+		w := pos / 32
+		b := uint(pos % 32)
+		// Set bits [b, min(32, b + remaining)) of word w in one OR.
+		remaining := n - pos
+		width := 32 - int(b)
+		if width > remaining {
+			width = remaining
+		}
+		var m uint32
+		if width >= 32 {
+			m = ^uint32(0)
+		} else {
+			m = ((uint32(1) << uint(width)) - 1) << b
+		}
+		mask[w] |= m
+		pos += width
+	}
+}
+
+// ClearLeading zeroes the k lowest mask bits. SHD and the original
+// GateKeeper explicitly zero the region a shift vacates, which is exactly
+// the accuracy flaw Figure 2 illustrates: those zeros dominate the final AND
+// and hide genuine edge mismatches.
+func ClearLeading(mask []uint32, k int) {
+	for i := 0; i < len(mask) && k > 0; i++ {
+		if k >= 32 {
+			mask[i] = 0
+			k -= 32
+			continue
+		}
+		mask[i] &^= (uint32(1) << uint(k)) - 1
+		return
+	}
+}
+
+// ClearTrailing zeroes the k highest in-range mask bits for a mask of n
+// bases — the insertion-mask counterpart of ClearLeading.
+func ClearTrailing(mask []uint32, n, k int) {
+	if k > n {
+		k = n
+	}
+	for pos := n - k; pos < n; {
+		w := pos / 32
+		b := uint(pos % 32)
+		remaining := n - pos
+		width := 32 - int(b)
+		if width > remaining {
+			width = remaining
+		}
+		var m uint32
+		if width >= 32 {
+			m = ^uint32(0)
+		} else {
+			m = ((uint32(1) << uint(width)) - 1) << b
+		}
+		mask[w] &^= m
+		pos += width
+	}
+}
+
+// ClearTail zeroes every mask bit at position >= n so padding never leaks
+// into amendment or error counting.
+func ClearTail(mask []uint32, n int) {
+	w := n / 32
+	b := uint(n % 32)
+	if w < len(mask) && b != 0 {
+		mask[w] &= (uint32(1) << b) - 1
+		w++
+	}
+	for ; w < len(mask); w++ {
+		mask[w] = 0
+	}
+}
+
+// Amend turns short streaks of 0s (length 1 or 2) that are flanked by 1s
+// into 1s, writing the result to dst. The hardware performs this with 4-bit
+// LUT windows; the effect is identical: without amendment the final AND
+// across masks would let a dominant 0 in one mask hide a genuine mismatch
+// signalled by every other mask.
+func Amend(dst, src []uint32, n int) {
+	tmpUp1 := make([]uint32, len(src))
+	tmpDn1 := make([]uint32, len(src))
+	tmpDn2 := make([]uint32, len(src))
+	AmendScratch(dst, src, n, tmpUp1, tmpDn1, tmpDn2)
+}
+
+// AmendScratch is Amend with caller-provided scratch buffers, for the hot
+// kernel path. The three scratch slices must each have len(src) words.
+func AmendScratch(dst, src []uint32, n int, up1, dn1, dn2 []uint32) {
+	// Pass 1: fill isolated single zeros: bit i set when src[i-1] and
+	// src[i+1] are both 1.
+	shiftBitsUp(up1, src, 1)
+	shiftBitsDown(dn1, src, 1)
+	for i := range dst {
+		dst[i] = src[i] | (up1[i] & dn1[i])
+	}
+	// Pass 2: fill double zeros: positions i and i+1 are zero with 1s at
+	// i-1 and i+2. pair bit i = dst[i-1] & dst[i+2].
+	shiftBitsUp(up1, dst, 1)
+	shiftBitsDown(dn2, dst, 2)
+	for i := range dn1 {
+		dn1[i] = up1[i] & dn2[i] // pair start positions
+	}
+	shiftBitsUp(dn2, dn1, 1) // second position of each pair
+	for i := range dst {
+		dst[i] |= dn1[i] | dn2[i]
+	}
+	ClearTail(dst, n)
+}
+
+// OnesCount returns the total number of set bits in the first n positions.
+func OnesCount(mask []uint32, n int) int {
+	total := 0
+	full := n / 32
+	for i := 0; i < full; i++ {
+		total += bits.OnesCount32(mask[i])
+	}
+	if rem := uint(n % 32); rem != 0 {
+		total += bits.OnesCount32(mask[full] & ((uint32(1) << rem) - 1))
+	}
+	return total
+}
+
+// CountRuns returns the number of maximal runs of consecutive 1s within the
+// first n positions, using the run-start identity popcount(m &^ (m << 1)).
+// Each run approximates one edit after amendment, which is how the kernel
+// estimates the edit distance.
+func CountRuns(mask []uint32, n int) int {
+	total := 0
+	var prevTop uint32 // bit 31 of the previous word
+	full := n / 32
+	for i := 0; i < full; i++ {
+		m := mask[i]
+		starts := m &^ (m<<1 | prevTop)
+		total += bits.OnesCount32(starts)
+		prevTop = m >> 31
+	}
+	if rem := uint(n % 32); rem != 0 {
+		m := mask[full] & ((uint32(1) << rem) - 1)
+		starts := m &^ (m<<1 | prevTop)
+		total += bits.OnesCount32(starts)
+	}
+	return total
+}
+
+// lutRunStarts[prev][nibble] is the number of 1-runs beginning inside the
+// 4-bit window given whether the bit preceding the window was set. It is the
+// look-up table the hardware kernel walks ("the errors are counted by
+// following a window approach with a look-up table").
+var lutRunStarts [2][16]uint8
+
+func init() {
+	for prev := 0; prev < 2; prev++ {
+		for nib := 0; nib < 16; nib++ {
+			count := 0
+			p := prev
+			for b := 0; b < 4; b++ {
+				cur := (nib >> uint(b)) & 1
+				if cur == 1 && p == 0 {
+					count++
+				}
+				p = cur
+			}
+			lutRunStarts[prev][nib] = uint8(count)
+		}
+	}
+}
+
+// CountRunsLUT is the hardware-faithful windowed error counter: it walks the
+// mask in 4-bit windows consulting a LUT with a one-bit carry (whether the
+// previous window ended inside a run). It must agree with CountRuns — the
+// property tests assert this for every input.
+func CountRunsLUT(mask []uint32, n int) int {
+	total := 0
+	prev := 0
+	for pos := 0; pos < n; pos += 4 {
+		w := mask[pos/32]
+		nib := int(w>>uint(pos%32)) & 0xF
+		width := n - pos
+		if width < 4 {
+			nib &= (1 << uint(width)) - 1
+		}
+		total += int(lutRunStarts[prev][nib])
+		if width >= 4 {
+			prev = (nib >> 3) & 1
+		} else {
+			prev = (nib >> uint(width-1)) & 1
+		}
+	}
+	return total
+}
+
+// CountWindowsLUT is the GateKeeper error counter: the final bitvector is
+// walked in non-overlapping 4-bit windows and each window containing at
+// least one 1 counts as one error ("the errors are counted by following a
+// window approach with a look-up table"). Isolated mismatches cost exactly
+// one error each, while the dense 1-regions a dissimilar pair produces cost
+// ~n/4 errors — which is what keeps the filter discriminating at high
+// error thresholds (Section 5.1's "filtering still continues to serve").
+func CountWindowsLUT(mask []uint32, n int) int {
+	total := 0
+	for pos := 0; pos < n; pos += 4 {
+		w := mask[pos/32]
+		nib := int(w>>uint(pos%32)) & 0xF
+		if width := n - pos; width < 4 {
+			nib &= (1 << uint(width)) - 1
+		}
+		if nib != 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// LongestZeroRun returns the start and length of the longest run of 0s
+// within positions [lo, hi) of the mask; MAGNET's extraction step builds on
+// this primitive. If the interval contains no zeros it returns (lo, 0).
+func LongestZeroRun(mask []uint32, lo, hi int) (start, length int) {
+	bestStart, bestLen := lo, 0
+	curStart, curLen := lo, 0
+	for i := lo; i < hi; i++ {
+		if mask[i/32]>>(uint(i%32))&1 == 0 {
+			if curLen == 0 {
+				curStart = i
+			}
+			curLen++
+			if curLen > bestLen {
+				bestStart, bestLen = curStart, curLen
+			}
+		} else {
+			curLen = 0
+		}
+	}
+	return bestStart, bestLen
+}
+
+// Bit reports whether mask bit i is set.
+func Bit(mask []uint32, i int) bool {
+	return mask[i/32]>>(uint(i%32))&1 == 1
+}
+
+// SetBit sets mask bit i.
+func SetBit(mask []uint32, i int) {
+	mask[i/32] |= uint32(1) << uint(i%32)
+}
+
+// String renders the first n bits of a mask as a '0'/'1' string, position 0
+// first — handy for tests and the worked Figure 2/3 examples.
+func String(mask []uint32, n int) string {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if Bit(mask, i) {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

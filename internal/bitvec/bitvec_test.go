@@ -1,0 +1,509 @@
+package bitvec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+)
+
+// refMaskFromString builds a mask from a '0'/'1' string, position 0 first.
+func refMaskFromString(s string) []uint32 {
+	mask := make([]uint32, MaskWords(len(s)))
+	for i, c := range s {
+		if c == '1' {
+			SetBit(mask, i)
+		}
+	}
+	return mask
+}
+
+func TestWordsHelpers(t *testing.T) {
+	if EncodedWords(100) != 7 {
+		t.Fatalf("EncodedWords(100) = %d, want 7", EncodedWords(100))
+	}
+	if MaskWords(100) != 4 {
+		t.Fatalf("MaskWords(100) = %d, want 4", MaskWords(100))
+	}
+	if MaskWords(0) != 0 || EncodedWords(0) != 0 {
+		t.Fatal("zero-length sizing wrong")
+	}
+}
+
+func TestShiftCharsUpAgainstDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{10, 16, 17, 100, 250} {
+		seq := dna.RandomSeq(rng, n)
+		words, err := dna.Encode(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{0, 1, 2, 3, 7, 15, 16, 17} {
+			if k > n {
+				continue
+			}
+			dst := make([]uint32, len(words))
+			ShiftCharsUp(dst, words, k)
+			got := dna.Decode(dst, n)
+			for i := 0; i < n; i++ {
+				want := byte('A') // vacated positions decode as code 00
+				if i-k >= 0 {
+					want = seq[i-k]
+				}
+				if got[i] != want {
+					t.Fatalf("n=%d k=%d pos=%d: got %c want %c", n, k, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftCharsDownAgainstDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{10, 16, 17, 100, 250} {
+		seq := dna.RandomSeq(rng, n)
+		words, err := dna.Encode(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{0, 1, 2, 3, 7, 15, 16, 17} {
+			if k > n {
+				continue
+			}
+			dst := make([]uint32, len(words))
+			ShiftCharsDown(dst, words, k)
+			got := dna.Decode(dst, n)
+			for i := 0; i < n; i++ {
+				want := byte('A')
+				if i+k < n {
+					want = seq[i+k]
+				}
+				if got[i] != want {
+					t.Fatalf("n=%d k=%d pos=%d: got %c want %c", n, k, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftRoundTrip(t *testing.T) {
+	// Shifting up then down by the same k must restore all but the k lowest
+	// characters.
+	rng := rand.New(rand.NewSource(3))
+	seq := dna.RandomSeq(rng, 150)
+	words, _ := dna.Encode(seq)
+	up := make([]uint32, len(words))
+	back := make([]uint32, len(words))
+	for k := 0; k <= 10; k++ {
+		ShiftCharsUp(up, words, k)
+		ShiftCharsDown(back, up, k)
+		got := dna.Decode(back, 150)
+		for i := 0; i < 150-k; i++ {
+			if got[i] != seq[i] {
+				t.Fatalf("k=%d pos=%d: round trip lost data", k, i)
+			}
+		}
+	}
+}
+
+func TestExtractChars(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ref := dna.RandomSeq(rng, 500)
+	refEnc, err := dna.Encode(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, start := range []int{0, 1, 7, 15, 16, 17, 100, 399, 400} {
+		for _, n := range []int{1, 16, 100, 33} {
+			if start+n > len(ref) {
+				continue
+			}
+			dst := make([]uint32, EncodedWords(n))
+			ExtractChars(dst, refEnc, start, n)
+			got := dna.Decode(dst, n)
+			if string(got) != string(ref[start:start+n]) {
+				t.Fatalf("ExtractChars(start=%d n=%d) = %q, want %q", start, n, got, ref[start:start+n])
+			}
+		}
+	}
+}
+
+func TestExtractCharsPaddingZeroed(t *testing.T) {
+	src := []uint32{^uint32(0), ^uint32(0)}
+	dst := make([]uint32, 1)
+	ExtractChars(dst, src, 3, 5) // 5 chars -> 10 bits used
+	if dst[0]>>10 != 0 {
+		t.Fatalf("padding bits leaked: %#x", dst[0])
+	}
+}
+
+func TestExtractCharsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ref := dna.RandomSeq(rng, 300)
+	refEnc, _ := dna.Encode(ref)
+	f := func(startRaw, nRaw uint16) bool {
+		n := int(nRaw)%150 + 1
+		start := int(startRaw) % (300 - n)
+		dst := make([]uint32, EncodedWords(n))
+		ExtractChars(dst, refEnc, start, n)
+		return string(dna.Decode(dst, n)) == string(ref[start:start+n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapseMatchesPerCharComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{5, 16, 33, 100, 150, 250} {
+		a := dna.RandomSeq(rng, n)
+		b := dna.MutateSubstitutions(rng, a, n/10+1)
+		wa, _ := dna.Encode(a)
+		wb, _ := dna.Encode(b)
+		x := make([]uint32, len(wa))
+		XorInto(x, wa, wb)
+		mask := make([]uint32, MaskWords(n))
+		Collapse(mask, x)
+		for i := 0; i < n; i++ {
+			want := a[i] != b[i]
+			if Bit(mask, i) != want {
+				t.Fatalf("n=%d pos=%d: mask=%v want %v", n, i, Bit(mask, i), want)
+			}
+		}
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	a := []uint32{0b1100, 0xFFFF0000}
+	b := []uint32{0b1010, 0x0F0F0F0F}
+	dst := make([]uint32, 2)
+	AndInto(dst, a, b)
+	if dst[0] != 0b1000 || dst[1] != 0x0F0F0000 {
+		t.Fatalf("AndInto = %#x %#x", dst[0], dst[1])
+	}
+	OrInto(dst, a, b)
+	if dst[0] != 0b1110 || dst[1] != 0xFFFF0F0F {
+		t.Fatalf("OrInto = %#x %#x", dst[0], dst[1])
+	}
+	XorInto(dst, a, b)
+	if dst[0] != 0b0110 || dst[1] != 0xF0F00F0F {
+		t.Fatalf("XorInto = %#x %#x", dst[0], dst[1])
+	}
+}
+
+func TestSetLeadingOnes(t *testing.T) {
+	for _, k := range []int{0, 1, 5, 31, 32, 33, 64, 70} {
+		mask := make([]uint32, 3)
+		SetLeadingOnes(mask, k)
+		for i := 0; i < 96; i++ {
+			want := i < k
+			if Bit(mask, i) != want {
+				t.Fatalf("k=%d bit %d = %v, want %v", k, i, Bit(mask, i), want)
+			}
+		}
+	}
+}
+
+func TestSetTrailingOnes(t *testing.T) {
+	for _, n := range []int{10, 32, 33, 70, 96} {
+		for _, k := range []int{0, 1, 5, 32, 40, 100} {
+			mask := make([]uint32, 3)
+			SetTrailingOnes(mask, n, k)
+			kk := k
+			if kk > n {
+				kk = n
+			}
+			for i := 0; i < n; i++ {
+				want := i >= n-kk
+				if Bit(mask, i) != want {
+					t.Fatalf("n=%d k=%d bit %d = %v, want %v", n, k, i, Bit(mask, i), want)
+				}
+			}
+			for i := n; i < 96; i++ {
+				if Bit(mask, i) {
+					t.Fatalf("n=%d k=%d: bit %d beyond n set", n, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestClearLeading(t *testing.T) {
+	for _, k := range []int{0, 1, 5, 31, 32, 33, 64, 70} {
+		mask := []uint32{^uint32(0), ^uint32(0), ^uint32(0)}
+		ClearLeading(mask, k)
+		for i := 0; i < 96; i++ {
+			want := i >= k
+			if Bit(mask, i) != want {
+				t.Fatalf("k=%d bit %d = %v, want %v", k, i, Bit(mask, i), want)
+			}
+		}
+	}
+}
+
+func TestClearTrailing(t *testing.T) {
+	for _, n := range []int{10, 32, 33, 70, 96} {
+		for _, k := range []int{0, 1, 5, 32, 40, 100} {
+			mask := []uint32{^uint32(0), ^uint32(0), ^uint32(0)}
+			ClearTrailing(mask, n, k)
+			kk := k
+			if kk > n {
+				kk = n
+			}
+			for i := 0; i < n; i++ {
+				want := i < n-kk
+				if Bit(mask, i) != want {
+					t.Fatalf("n=%d k=%d bit %d = %v, want %v", n, k, i, Bit(mask, i), want)
+				}
+			}
+		}
+	}
+}
+
+func TestClearTail(t *testing.T) {
+	mask := []uint32{^uint32(0), ^uint32(0), ^uint32(0)}
+	ClearTail(mask, 40)
+	for i := 0; i < 40; i++ {
+		if !Bit(mask, i) {
+			t.Fatalf("bit %d cleared inside range", i)
+		}
+	}
+	for i := 40; i < 96; i++ {
+		if Bit(mask, i) {
+			t.Fatalf("bit %d set beyond range", i)
+		}
+	}
+}
+
+// refAmend is the obvious O(n) reference implementation of the amendment.
+func refAmend(s string) string {
+	out := []byte(s)
+	n := len(s)
+	for i := 0; i < n; i++ {
+		if s[i] != '0' {
+			continue
+		}
+		// Zero run starting at i.
+		j := i
+		for j < n && s[j] == '0' {
+			j++
+		}
+		runLen := j - i
+		leftOne := i-1 >= 0 && s[i-1] == '1'
+		rightOne := j < n && s[j] == '1'
+		if runLen <= 2 && leftOne && rightOne {
+			for p := i; p < j; p++ {
+				out[p] = '1'
+			}
+		}
+		i = j - 1
+	}
+	return string(out)
+}
+
+func TestAmendAgainstReference(t *testing.T) {
+	cases := []string{
+		"101",
+		"1001",
+		"10001",
+		"0101",
+		"1010",
+		"110011",
+		"1100011",
+		"11000011",
+		"000",
+		"111",
+		"1",
+		"0",
+		"10",
+		"01",
+		"1011101",
+		"100110011001",
+	}
+	for _, s := range cases {
+		mask := refMaskFromString(s)
+		dst := make([]uint32, len(mask))
+		Amend(dst, mask, len(s))
+		if got := String(dst, len(s)); got != refAmend(s) {
+			t.Errorf("Amend(%s) = %s, want %s", s, got, refAmend(s))
+		}
+	}
+}
+
+func TestAmendQuick(t *testing.T) {
+	f := func(raw []byte, nRaw uint8) bool {
+		n := int(nRaw)%120 + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			if i < len(raw) && raw[i]%2 == 1 {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		s := sb.String()
+		mask := refMaskFromString(s)
+		dst := make([]uint32, len(mask))
+		Amend(dst, mask, n)
+		return String(dst, n) == refAmend(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmendCrossesWordBoundary(t *testing.T) {
+	// A single zero exactly at a 32-bit word boundary must still be filled.
+	s := strings.Repeat("1", 31) + "0" + strings.Repeat("1", 10)
+	mask := refMaskFromString(s)
+	dst := make([]uint32, len(mask))
+	Amend(dst, mask, len(s))
+	if got := String(dst, len(s)); got != strings.Repeat("1", 42) {
+		t.Fatalf("boundary fill failed: %s", got)
+	}
+	// Double zero straddling the boundary.
+	s = strings.Repeat("1", 31) + "00" + strings.Repeat("1", 10)
+	mask = refMaskFromString(s)
+	dst = make([]uint32, len(mask))
+	Amend(dst, mask, len(s))
+	if got := String(dst, len(s)); got != strings.Repeat("1", 43) {
+		t.Fatalf("double boundary fill failed: %s", got)
+	}
+}
+
+func refCountRuns(s string) int {
+	count := 0
+	prev := byte('0')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '1' && prev == '0' {
+			count++
+		}
+		prev = s[i]
+	}
+	return count
+}
+
+func TestCountRunsKnown(t *testing.T) {
+	cases := map[string]int{
+		"":            0,
+		"0":           0,
+		"1":           1,
+		"101":         2,
+		"111":         1,
+		"0110":        1,
+		"10101":       3,
+		"1111111":     1,
+		"00100100100": 3,
+	}
+	for s, want := range cases {
+		mask := refMaskFromString(s)
+		if got := CountRuns(mask, len(s)); got != want {
+			t.Errorf("CountRuns(%q) = %d, want %d", s, got, want)
+		}
+		if got := CountRunsLUT(mask, len(s)); got != want {
+			t.Errorf("CountRunsLUT(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestCountRunsLUTAgreesWithBitTrick(t *testing.T) {
+	f := func(raw []byte, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		mask := make([]uint32, MaskWords(n))
+		for i := 0; i < n; i++ {
+			if i < len(raw) && raw[i]%2 == 1 {
+				SetBit(mask, i)
+			}
+		}
+		return CountRuns(mask, n) == CountRunsLUT(mask, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountRunsAcrossWordBoundary(t *testing.T) {
+	// One run spanning bits 30..34 must count once.
+	mask := make([]uint32, 2)
+	for i := 30; i <= 34; i++ {
+		SetBit(mask, i)
+	}
+	if got := CountRuns(mask, 64); got != 1 {
+		t.Fatalf("spanning run counted %d times", got)
+	}
+	if got := CountRunsLUT(mask, 64); got != 1 {
+		t.Fatalf("LUT spanning run counted %d times", got)
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	mask := refMaskFromString("110100111")
+	if got := OnesCount(mask, 9); got != 6 {
+		t.Fatalf("OnesCount = %d, want 6", got)
+	}
+	if got := OnesCount(mask, 3); got != 2 {
+		t.Fatalf("OnesCount prefix = %d, want 2", got)
+	}
+	big := []uint32{^uint32(0), ^uint32(0)}
+	if got := OnesCount(big, 40); got != 40 {
+		t.Fatalf("OnesCount(40 of ones) = %d", got)
+	}
+}
+
+func TestLongestZeroRun(t *testing.T) {
+	mask := refMaskFromString("1100011110000001")
+	start, length := LongestZeroRun(mask, 0, 16)
+	if start != 9 || length != 6 {
+		t.Fatalf("LongestZeroRun = (%d,%d), want (9,6)", start, length)
+	}
+	start, length = LongestZeroRun(mask, 0, 7)
+	if start != 2 || length != 3 {
+		t.Fatalf("LongestZeroRun prefix = (%d,%d), want (2,3)", start, length)
+	}
+	_, length = LongestZeroRun(refMaskFromString("1111"), 0, 4)
+	if length != 0 {
+		t.Fatalf("all-ones should have zero-length run, got %d", length)
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	mask := refMaskFromString("10110")
+	if got := String(mask, 5); got != "10110" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestShiftQuickInverse(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		n := 100
+		seq := make([]byte, n)
+		for i := range seq {
+			b := byte(0)
+			if i < len(raw) {
+				b = raw[i]
+			}
+			seq[i] = dna.Alphabet[int(b)%4]
+		}
+		k := int(kRaw) % 20
+		words, err := dna.Encode(seq)
+		if err != nil {
+			return false
+		}
+		up := make([]uint32, len(words))
+		back := make([]uint32, len(words))
+		ShiftCharsUp(up, words, k)
+		ShiftCharsDown(back, up, k)
+		got := dna.Decode(back, n)
+		for i := 0; i < n-k; i++ {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package cuda
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// KernelFunc is the body of a simulated CUDA kernel, invoked once per
+// logical thread. worker identifies the OS-level executor (0..workers-1) so
+// callers can give each executor its own scratch state — the analogue of a
+// CUDA thread's reserved stack frame; tid is the logical thread index, one
+// per filtration, exactly as GateKeeper-GPU maps work ("each filtration is
+// performed by a single CUDA thread").
+type KernelFunc func(worker, tid int)
+
+// Launch executes fn for logical threads 0..threads-1 under the given
+// launch geometry. The geometry is validated against the device limits and
+// used for occupancy/power accounting; actual execution fans out over a
+// goroutine pool sized to the host. Launch blocks until every thread has
+// run — the engine's only synchronization point, like the paper's
+// per-batch cudaDeviceSynchronize.
+func (d *Device) Launch(lc LaunchConfig, threads int, fn KernelFunc) error {
+	if threads <= 0 {
+		return fmt.Errorf("cuda: launch with %d threads", threads)
+	}
+	if lc.ThreadsPerBlock <= 0 || lc.ThreadsPerBlock > d.Spec.MaxThreadsPerBlock {
+		return fmt.Errorf("cuda: %d threads per block outside (0,%d]",
+			lc.ThreadsPerBlock, d.Spec.MaxThreadsPerBlock)
+	}
+	if lc.Blocks <= 0 {
+		return fmt.Errorf("cuda: launch with %d blocks", lc.Blocks)
+	}
+	if lc.Threads() < threads {
+		return fmt.Errorf("cuda: geometry provides %d threads, need %d", lc.Threads(), threads)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > threads {
+		workers = threads
+	}
+	// Carve the logical thread space into warp-sized work units claimed
+	// atomically, so stragglers balance across executors.
+	const unit = 4 * WarpSize
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(unit)) - unit
+				if start >= threads {
+					return
+				}
+				end := start + unit
+				if end > threads {
+					end = threads
+				}
+				for tid := start; tid < end; tid++ {
+					fn(worker, tid)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// MaxWorkers returns the executor pool size Launch will use for the given
+// thread count; engines preallocate one scratch kernel per worker.
+func MaxWorkers(threads int) int {
+	w := runtime.GOMAXPROCS(0)
+	if threads < w {
+		w = threads
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RecordKernel folds a modelled kernel execution into the device telemetry:
+// its duration (CUDA-event kernel time) and the utilization driving the
+// power trace.
+func (d *Device) RecordKernel(seconds, utilization float64) {
+	d.recordKernel(seconds, utilization)
+}

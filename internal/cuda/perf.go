@@ -1,0 +1,215 @@
+package cuda
+
+// Workload describes one batch of filtrations for the cost model.
+type Workload struct {
+	Pairs         int  // number of read/candidate pairs
+	ReadLen       int  // bases per sequence
+	E             int  // error threshold (2e+1 masks)
+	DeviceEncoded bool // encoding performed inside the kernel
+}
+
+// Words returns the encoded words per sequence (16 bases per 32-bit word).
+func (w Workload) Words() int { return (w.ReadLen + 15) / 16 }
+
+// Masks returns the number of Hamming masks the kernel builds.
+func (w Workload) Masks() int { return 2*w.E + 1 }
+
+// CostModel holds the calibration constants of the analytic performance
+// model. The defaults are fitted to the paper's raw measurements
+// (Sup. Tables S.13-S.19): per-pair kernel cost is linear in
+// words x masks with a fixed overhead, device-side encoding costs grow with
+// the square of the read length (strided uncoalesced stores), and host-side
+// preparation costs are linear in read length. All GPU constants are in
+// core-cycle slots (divide by cores x clock); host constants are seconds.
+type CostModel struct {
+	// GPU kernel, in cycle slots per pair.
+	KernelBaseSlots    float64 // fixed per-filtration overhead
+	KernelSlotsPerWord float64 // x words x masks
+	EncodeSlotsPerLen2 float64 // x readLen^2, device-encoded only
+
+	// Host preparation, seconds per pair per base.
+	HostFillPerBase   float64 // device-encoded path: raw buffer fill
+	HostEncodePerBase float64 // host-encoded path: 2-bit packing on CPU
+
+	// Unified-memory penalties on devices without prefetch support.
+	FaultTransferFactor float64 // transfers served by page faults
+	FaultKernelStall    float64 // kernel slowdown from in-kernel faults
+
+	// Per-kernel-launch overheads: launch latency on the device clock and
+	// batching/synchronization cost on the host clock. These are what make
+	// small read batches expensive (Table 1: 100-read batches almost halve
+	// throughput versus 100,000-read batches).
+	PerLaunchSeconds    float64
+	PerBatchHostSeconds float64
+
+	// Multi-GPU scaling imbalance per extra device.
+	MultiGPUKernelOverheadDev  float64
+	MultiGPUKernelOverheadHost float64
+	MultiGPUFilterOverhead     float64
+
+	// CPU (GateKeeper-CPU) constants, seconds per pair.
+	CPUBasePerBase  float64 // x readLen: encoding + loop overhead
+	CPUPerMaskWord  float64 // x words x masks
+	CPUCoreEff      float64 // multi-core scaling efficiency
+	CPUFilterFactor float64 // filter time / kernel time on CPU
+}
+
+// DefaultCostModel returns the constants calibrated against Setup 1
+// (GTX 1080 Ti, Xeon Gold 6140) in the supplementary tables.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		KernelBaseSlots:    3516,
+		KernelSlotsPerWord: 656,
+		EncodeSlotsPerLen2: 4.34,
+
+		HostFillPerBase:   3.0e-9,
+		HostEncodePerBase: 8.1e-9,
+
+		FaultTransferFactor: 3.0,
+		FaultKernelStall:    1.20,
+
+		PerLaunchSeconds:    0.6e-3,
+		PerBatchHostSeconds: 2.5e-3,
+
+		MultiGPUKernelOverheadDev:  0.090,
+		MultiGPUKernelOverheadHost: 0.025,
+		MultiGPUFilterOverhead:     0.060,
+
+		CPUBasePerBase:  8.8e-9,
+		CPUPerMaskWord:  72.6e-9,
+		CPUCoreEff:      0.85,
+		CPUFilterFactor: 1.12,
+	}
+}
+
+// KernelSlotsPerPair returns the modelled core-cycle slots one filtration
+// occupies on the device.
+func (m CostModel) KernelSlotsPerPair(w Workload) float64 {
+	slots := m.KernelBaseSlots + m.KernelSlotsPerWord*float64(w.Words()*w.Masks())
+	if w.DeviceEncoded {
+		slots += m.EncodeSlotsPerLen2 * float64(w.ReadLen) * float64(w.ReadLen)
+	}
+	return slots
+}
+
+// KernelSeconds returns the modelled kernel time for the workload on one
+// device: slots / (cores x clock x architectural efficiency), plus the
+// page-fault stall factor when the device cannot prefetch.
+func (m CostModel) KernelSeconds(spec DeviceSpec, w Workload) float64 {
+	slotRate := float64(spec.Cores()) * spec.ClockGHz * 1e9 * spec.EffFactor
+	t := float64(w.Pairs) * m.KernelSlotsPerPair(w) / slotRate
+	if !spec.SupportsPrefetch() {
+		t *= m.FaultKernelStall
+	}
+	return t
+}
+
+// TransferBytes returns the host-to-device payload per pair: raw characters
+// on the device-encoded path (1 byte per base, read + reference segment),
+// packed words on the host-encoded path, plus the 8-byte result write-back.
+func (w Workload) TransferBytes() int {
+	if w.DeviceEncoded {
+		return 2*w.ReadLen + 8
+	}
+	return 2*w.Words()*4 + 8
+}
+
+// TransferSeconds returns the modelled host-device transfer time. Without
+// prefetch support every page moves on demand, multiplying the effective
+// cost (FaultTransferFactor), which is the Setup 2 penalty the paper
+// attributes to the missing prefetch feature.
+func (m CostModel) TransferSeconds(spec DeviceSpec, w Workload) float64 {
+	t := float64(w.Pairs) * float64(w.TransferBytes()) / spec.PCIeBandwidth()
+	if !spec.SupportsPrefetch() {
+		t *= m.FaultTransferFactor
+	}
+	return t
+}
+
+// HostPrepSeconds returns the host-side preparation time for the batch:
+// filling raw buffers (device-encoded) or 2-bit packing (host-encoded).
+// hostFactor scales for the host CPU of the setup (1.0 for Setup 1).
+func (m CostModel) HostPrepSeconds(w Workload, hostFactor float64) float64 {
+	perBase := m.HostEncodePerBase
+	if w.DeviceEncoded {
+		perBase = m.HostFillPerBase
+	}
+	return float64(w.Pairs) * perBase * float64(w.ReadLen) * hostFactor
+}
+
+// FilterSeconds returns the modelled end-to-end filter time on one device:
+// host preparation + transfers + kernel (Section 4.3's "filter time,
+// measured from the host's perspective").
+func (m CostModel) FilterSeconds(spec DeviceSpec, w Workload, hostFactor float64) float64 {
+	return m.HostPrepSeconds(w, hostFactor) +
+		m.TransferSeconds(spec, w) +
+		m.KernelSeconds(spec, w)
+}
+
+// MultiGPUKernelSeconds returns the modelled kernel time when the workload
+// is split evenly across n devices: per-device share plus a per-extra-device
+// imbalance overhead. Host-encoded batches scale closer to linearly because
+// the kernel is pure mask arithmetic (Figure 8's observation).
+func (m CostModel) MultiGPUKernelSeconds(spec DeviceSpec, w Workload, n int) float64 {
+	if n <= 1 {
+		return m.KernelSeconds(spec, w)
+	}
+	share := w
+	share.Pairs = (w.Pairs + n - 1) / n
+	overhead := m.MultiGPUKernelOverheadHost
+	if w.DeviceEncoded {
+		overhead = m.MultiGPUKernelOverheadDev
+	}
+	return m.KernelSeconds(spec, share) * (1 + overhead*float64(n-1))
+}
+
+// MultiGPUFilterSeconds is FilterSeconds under an even n-way split with the
+// host preparation parallelized across per-device batching goroutines.
+func (m CostModel) MultiGPUFilterSeconds(spec DeviceSpec, w Workload, n int, hostFactor float64) float64 {
+	if n <= 1 {
+		return m.FilterSeconds(spec, w, hostFactor)
+	}
+	share := w
+	share.Pairs = (w.Pairs + n - 1) / n
+	return m.FilterSeconds(spec, share, hostFactor) * (1 + m.MultiGPUFilterOverhead*float64(n-1))
+}
+
+// CPUKernelSeconds returns the modelled GateKeeper-CPU algorithm time on the
+// given core count (kernel time in Table 2's CPU columns). cpuFactor scales
+// for the setup's host CPU.
+func (m CostModel) CPUKernelSeconds(w Workload, cores int, cpuFactor float64) float64 {
+	perPair := m.CPUBasePerBase*float64(w.ReadLen) +
+		m.CPUPerMaskWord*float64(w.Words()*w.Masks())
+	t := float64(w.Pairs) * perPair * cpuFactor
+	if cores > 1 {
+		t /= float64(cores) * m.CPUCoreEff
+	}
+	return t
+}
+
+// CPUFilterSeconds returns the modelled end-to-end CPU filter time.
+func (m CostModel) CPUFilterSeconds(w Workload, cores int, cpuFactor float64) float64 {
+	return m.CPUKernelSeconds(w, cores, cpuFactor) * m.CPUFilterFactor
+}
+
+// Utilization models the average compute utilization the kernel sustains,
+// which drives the power trace: longer reads process more words per thread
+// and push the device harder (Section 5.4.2: "the kernel tends to use more
+// power in longer sequences").
+func (m CostModel) Utilization(spec DeviceSpec, w Workload) float64 {
+	l := float64(w.ReadLen)
+	if l > 250 {
+		l = 250
+	}
+	util := 0.215 + 0.11*(l-100)/150
+	if spec.Architecture == Kepler {
+		util = 0.233 + 0.037*(l-100)/150
+	}
+	if !w.DeviceEncoded && w.ReadLen >= 200 {
+		util -= 0.048 // host-encoded long reads stream more, compute less
+	}
+	if util < 0.05 {
+		util = 0.05
+	}
+	return util
+}

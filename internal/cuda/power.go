@@ -1,0 +1,66 @@
+package cuda
+
+// PowerTrace accumulates an nvprof-style power profile (Section 5.4.2,
+// Tables 6 and S.27): minimum, maximum and duration-weighted average power
+// over the kernels a device has executed.
+type PowerTrace struct {
+	minW, maxW  float64
+	weightedSum float64 // watt-seconds
+	totalTime   float64 // seconds
+	samples     int
+}
+
+// sample folds one kernel execution into the trace. Average draw is
+// idle + (TDP-idle) x utilization; the transient peak the profiler catches
+// is modelled as a utilization spike that grows with read-length-driven
+// memory pressure (folded into the caller's utilization value).
+func (p *PowerTrace) sample(spec DeviceSpec, seconds, utilization float64) {
+	if seconds <= 0 {
+		return
+	}
+	span := spec.TDPWatts - spec.IdleWatts
+	avg := spec.IdleWatts + span*utilization
+	peakUtil := utilization * (1.9 + 3.4*clamp01((utilization-0.20)/0.15))
+	if peakUtil > 1 {
+		peakUtil = 1
+	}
+	peak := spec.IdleWatts + span*peakUtil
+	min := spec.IdleWatts
+
+	if p.samples == 0 || min < p.minW {
+		p.minW = min
+	}
+	if peak > p.maxW {
+		p.maxW = peak
+	}
+	p.weightedSum += avg * seconds
+	p.totalTime += seconds
+	p.samples++
+}
+
+// MinWatts returns the minimum observed draw (idle floor).
+func (p PowerTrace) MinWatts() float64 { return p.minW }
+
+// MaxWatts returns the peak observed draw.
+func (p PowerTrace) MaxWatts() float64 { return p.maxW }
+
+// AvgWatts returns the duration-weighted average draw.
+func (p PowerTrace) AvgWatts() float64 {
+	if p.totalTime == 0 {
+		return 0
+	}
+	return p.weightedSum / p.totalTime
+}
+
+// Samples returns the number of kernel executions folded in.
+func (p PowerTrace) Samples() int { return p.samples }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

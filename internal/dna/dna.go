@@ -1,0 +1,192 @@
+// Package dna provides DNA sequence primitives shared by every layer of the
+// GateKeeper-GPU reproduction: 2-bit base encoding exactly as the paper
+// specifies (A=00, C=01, G=10, T=11, 16 bases packed per 32-bit word),
+// detection of unknown base calls ('N'), and small sequence utilities.
+package dna
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Base codes used by the 2-bit encoding (Section 3.3 of the paper).
+const (
+	CodeA = 0b00
+	CodeC = 0b01
+	CodeG = 0b10
+	CodeT = 0b11
+)
+
+// BasesPerWord is the number of 2-bit encoded bases that fit in one 32-bit
+// word. The paper: "a 16-character window is encoded into an unsigned
+// integer (i.e., one word), thus a 100bp read is represented as seven words".
+const BasesPerWord = 16
+
+// Alphabet is the set of bases GateKeeper recognizes, in code order.
+var Alphabet = [4]byte{'A', 'C', 'G', 'T'}
+
+// codeTable maps an ASCII byte to its 2-bit code, or 0xFF for anything the
+// filter does not recognize (including 'N').
+var codeTable [256]byte
+
+func init() {
+	for i := range codeTable {
+		codeTable[i] = 0xFF
+	}
+	for code, b := range Alphabet {
+		codeTable[b] = byte(code)
+		codeTable[b+'a'-'A'] = byte(code)
+	}
+}
+
+// Code returns the 2-bit code for base b and whether b is a recognized base.
+func Code(b byte) (byte, bool) {
+	c := codeTable[b]
+	return c, c != 0xFF
+}
+
+// IsACGT reports whether b is one of the four recognized bases (either case).
+func IsACGT(b byte) bool { return codeTable[b] != 0xFF }
+
+// HasN reports whether seq contains any unrecognized base call. Pairs with
+// such bases are "undefined" in the paper's terms and bypass filtration.
+func HasN(seq []byte) bool {
+	for _, b := range seq {
+		if codeTable[b] == 0xFF {
+			return true
+		}
+	}
+	return false
+}
+
+// WordsFor returns the number of 32-bit words needed to encode n bases.
+func WordsFor(n int) int { return (n + BasesPerWord - 1) / BasesPerWord }
+
+// Encode packs seq into 2-bit codes, 16 bases per word. Base i occupies bits
+// [2i mod 32, 2i mod 32 + 1] of word i/16 (little-endian within the word, so
+// base 0 is the least significant pair of word 0). It returns an error if the
+// sequence contains an unrecognized base; callers that must tolerate 'N'
+// should check HasN first and route the pair around the filter, as
+// GateKeeper-GPU does.
+func Encode(seq []byte) ([]uint32, error) {
+	words := make([]uint32, WordsFor(len(seq)))
+	if err := EncodeInto(words, seq); err != nil {
+		return nil, err
+	}
+	return words, nil
+}
+
+// EncodeInto is Encode writing into a caller-provided word buffer, which must
+// hold at least WordsFor(len(seq)) words. Unused high bits of the final word
+// are zeroed.
+func EncodeInto(words []uint32, seq []byte) error {
+	n := WordsFor(len(seq))
+	if len(words) < n {
+		return fmt.Errorf("dna: word buffer too small: have %d, need %d", len(words), n)
+	}
+	for i := range words[:n] {
+		words[i] = 0
+	}
+	for i, b := range seq {
+		c := codeTable[b]
+		if c == 0xFF {
+			return fmt.Errorf("dna: unrecognized base %q at position %d", b, i)
+		}
+		words[i/BasesPerWord] |= uint32(c) << uint((i%BasesPerWord)*2)
+	}
+	return nil
+}
+
+// Decode expands n bases from the packed representation produced by Encode.
+func Decode(words []uint32, n int) []byte {
+	seq := make([]byte, n)
+	for i := 0; i < n; i++ {
+		code := (words[i/BasesPerWord] >> uint((i%BasesPerWord)*2)) & 0b11
+		seq[i] = Alphabet[code]
+	}
+	return seq
+}
+
+// BaseAt returns the decoded base at position i of a packed sequence.
+func BaseAt(words []uint32, i int) byte {
+	code := (words[i/BasesPerWord] >> uint((i%BasesPerWord)*2)) & 0b11
+	return Alphabet[code]
+}
+
+// Complement returns the Watson-Crick complement of a single base. Unknown
+// bases map to 'N'.
+func Complement(b byte) byte {
+	switch b {
+	case 'A', 'a':
+		return 'T'
+	case 'C', 'c':
+		return 'G'
+	case 'G', 'g':
+		return 'C'
+	case 'T', 't':
+		return 'A'
+	default:
+		return 'N'
+	}
+}
+
+// ReverseComplement returns the reverse complement of seq as a new slice.
+func ReverseComplement(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, b := range seq {
+		out[len(seq)-1-i] = Complement(b)
+	}
+	return out
+}
+
+// Upper normalizes a sequence to upper case in place and returns it.
+func Upper(seq []byte) []byte {
+	for i, b := range seq {
+		if b >= 'a' && b <= 'z' {
+			seq[i] = b - 'a' + 'A'
+		}
+	}
+	return seq
+}
+
+// CountMismatches returns the Hamming distance between two equal-length
+// sequences, treating unknown bases as mismatches against everything.
+func CountMismatches(a, b []byte) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("dna: length mismatch %d vs %d", len(a), len(b))
+	}
+	n := 0
+	for i := range a {
+		ca, okA := Code(a[i])
+		cb, okB := Code(b[i])
+		if !okA || !okB || ca != cb {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Validate returns an error describing the first unrecognized base in seq,
+// or nil if every base is one of ACGT (either case).
+func Validate(seq []byte) error {
+	for i, b := range seq {
+		if codeTable[b] == 0xFF {
+			return fmt.Errorf("dna: unrecognized base %q at position %d", b, i)
+		}
+	}
+	return nil
+}
+
+// FormatWords renders packed words as a human-readable base string; useful in
+// debugging output and the worked examples.
+func FormatWords(words []uint32, n int) string {
+	var sb strings.Builder
+	sb.Grow(n + n/8)
+	for i := 0; i < n; i++ {
+		if i > 0 && i%8 == 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte(BaseAt(words, i))
+	}
+	return sb.String()
+}

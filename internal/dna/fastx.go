@@ -1,0 +1,126 @@
+package dna
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Record is a named sequence parsed from FASTA or FASTQ input.
+type Record struct {
+	Name string
+	Seq  []byte
+	Qual []byte // nil for FASTA
+}
+
+// ReadFASTA parses all records from a FASTA stream. It tolerates wrapped
+// sequence lines and blank lines.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var recs []Record
+	var cur *Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] == '>' {
+			recs = append(recs, Record{Name: string(bytes.TrimSpace(b[1:]))})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("dna: fasta line %d: sequence before header", line)
+		}
+		cur.Seq = append(cur.Seq, b...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dna: fasta scan: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFASTA writes records in FASTA format with 70-column wrapping.
+func WriteFASTA(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		for off := 0; off < len(rec.Seq); off += 70 {
+			end := off + 70
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := bw.Write(rec.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTQ parses all records from a FASTQ stream (4-line records).
+func ReadFASTQ(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		hdr := bytes.TrimSpace(sc.Bytes())
+		if len(hdr) == 0 {
+			continue
+		}
+		if hdr[0] != '@' {
+			return nil, fmt.Errorf("dna: fastq line %d: expected '@', got %q", line, hdr[0])
+		}
+		rec := Record{Name: string(hdr[1:])}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing sequence)", line)
+		}
+		line++
+		rec.Seq = append(rec.Seq, bytes.TrimSpace(sc.Bytes())...)
+		if !sc.Scan() {
+			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing '+')", line)
+		}
+		line++
+		if !sc.Scan() {
+			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing quality)", line)
+		}
+		line++
+		rec.Qual = append(rec.Qual, bytes.TrimSpace(sc.Bytes())...)
+		if len(rec.Qual) != len(rec.Seq) {
+			return nil, fmt.Errorf("dna: fastq line %d: quality length %d != sequence length %d",
+				line, len(rec.Qual), len(rec.Seq))
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dna: fastq scan: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFASTQ writes records in FASTQ format, synthesizing a constant quality
+// string when a record has none.
+func WriteFASTQ(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		qual := rec.Qual
+		if qual == nil {
+			qual = bytes.Repeat([]byte{'I'}, len(rec.Seq))
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq, qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+package dna
+
+import "math/rand"
+
+// RandomSeq fills a new sequence of length n with uniformly random bases
+// drawn from rng. It is the building block for every synthetic dataset in
+// the reproduction.
+func RandomSeq(rng *rand.Rand, n int) []byte {
+	seq := make([]byte, n)
+	for i := range seq {
+		seq[i] = Alphabet[rng.Intn(4)]
+	}
+	return seq
+}
+
+// MutateSubstitutions copies seq and applies exactly k substitutions at
+// distinct positions, each changing the base to a different one.
+func MutateSubstitutions(rng *rand.Rand, seq []byte, k int) []byte {
+	out := append([]byte(nil), seq...)
+	if k <= 0 {
+		return out
+	}
+	perm := rng.Perm(len(seq))
+	if k > len(seq) {
+		k = len(seq)
+	}
+	for _, p := range perm[:k] {
+		old := out[p]
+		for {
+			b := Alphabet[rng.Intn(4)]
+			if b != old {
+				out[p] = b
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Edit is a single sequencing error or variant applied by ApplyEdits.
+type Edit struct {
+	Pos  int  // position in the original sequence
+	Op   byte // 'X' substitution, 'I' insertion before Pos, 'D' deletion of Pos
+	Base byte // new base for 'X' and 'I'
+}
+
+// ApplyEdits applies edits (sorted by Pos) to seq and returns the result.
+// Insertions insert Base before Pos; deletions drop the base at Pos. The
+// output length may differ from the input length.
+func ApplyEdits(seq []byte, edits []Edit) []byte {
+	out := make([]byte, 0, len(seq)+len(edits))
+	byPos := make(map[int][]Edit, len(edits))
+	for _, e := range edits {
+		byPos[e.Pos] = append(byPos[e.Pos], e)
+	}
+	for i := 0; i <= len(seq); i++ {
+		skip := false
+		for _, e := range byPos[i] {
+			switch e.Op {
+			case 'I':
+				out = append(out, e.Base)
+			case 'D':
+				skip = true
+			case 'X':
+				if i < len(seq) {
+					out = append(out, e.Base)
+					skip = true
+				}
+			}
+		}
+		if i < len(seq) && !skip {
+			out = append(out, seq[i])
+		}
+	}
+	return out
+}
+
+// RandomEdits draws k random edits over a sequence of length n with the given
+// probability split between substitutions and indels. indelFrac of the edits
+// are indels (half insertions, half deletions); the rest are substitutions.
+func RandomEdits(rng *rand.Rand, n, k int, indelFrac float64) []Edit {
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	positions := rng.Perm(n)
+	if k > n {
+		k = n
+	}
+	edits := make([]Edit, 0, k)
+	for i := 0; i < k; i++ {
+		e := Edit{Pos: positions[i], Base: Alphabet[rng.Intn(4)]}
+		switch {
+		case rng.Float64() >= indelFrac:
+			e.Op = 'X'
+		case rng.Intn(2) == 0:
+			e.Op = 'I'
+		default:
+			e.Op = 'D'
+		}
+		edits = append(edits, e)
+	}
+	sortEdits(edits)
+	return edits
+}
+
+func sortEdits(edits []Edit) {
+	for i := 1; i < len(edits); i++ {
+		for j := i; j > 0 && edits[j].Pos < edits[j-1].Pos; j-- {
+			edits[j], edits[j-1] = edits[j-1], edits[j]
+		}
+	}
+}
+
+// SprinkleN replaces approximately rate*len(seq) bases with 'N' to model
+// unknown base calls; it returns the number of bases replaced.
+func SprinkleN(rng *rand.Rand, seq []byte, rate float64) int {
+	n := 0
+	for i := range seq {
+		if rng.Float64() < rate {
+			seq[i] = 'N'
+			n++
+		}
+	}
+	return n
+}

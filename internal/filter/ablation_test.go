@@ -1,0 +1,135 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+)
+
+// ablationDataset builds near-threshold pairs that stress every design
+// element: scattered substitutions plus occasional indels.
+func ablationDataset(seed int64, n, L int) (pairs [][2][]byte, dists []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		read := dna.RandomSeq(rng, L)
+		k := 2 + rng.Intn(18)
+		mutated := dna.ApplyEdits(read, dna.RandomEdits(rng, L, k, 0.25))
+		ref := make([]byte, L)
+		c := copy(ref, mutated)
+		for j := c; j < L; j++ {
+			ref[j] = dna.Alphabet[rng.Intn(4)]
+		}
+		pairs = append(pairs, [2][]byte{read, ref})
+		dists = append(dists, align.Distance(read, ref))
+	}
+	return pairs, dists
+}
+
+func falseAccepts(t *testing.T, kern *Kernel, pairs [][2][]byte, dists []int, e int) (fa, fr int) {
+	t.Helper()
+	for i, p := range pairs {
+		d := kern.Filter(p[0], p[1], e)
+		switch {
+		case d.Accept && dists[i] > e:
+			fa++
+		case !d.Accept && dists[i] <= e:
+			fr++
+		}
+	}
+	return fa, fr
+}
+
+func TestAblationAmendmentReducesFalseAccepts(t *testing.T) {
+	pairs, dists := ablationDataset(1, 400, 100)
+	full := NewKernel(ModeGPU, 100, 5)
+	noAmend := NewKernel(ModeGPU, 100, 5)
+	noAmend.SetAblation(Ablation{SkipAmendment: true})
+	faFull, frFull := falseAccepts(t, full, pairs, dists, 5)
+	faNo, frNo := falseAccepts(t, noAmend, pairs, dists, 5)
+	if frFull != 0 {
+		t.Fatalf("full kernel produced %d false rejects", frFull)
+	}
+	if frNo != 0 {
+		t.Fatalf("amendment-ablated kernel produced %d false rejects; ablation only removes 1s", frNo)
+	}
+	if faNo <= faFull {
+		t.Errorf("amendment should reduce false accepts: full=%d ablated=%d", faFull, faNo)
+	}
+}
+
+func TestAblationWindowCountingKeepsHighEDiscrimination(t *testing.T) {
+	// At e = 10% of the read length, run counting collapses (nearly every
+	// dissimilar pair shows few 1-runs after the 21-mask AND) while the
+	// windowed counter keeps rejecting — the Section 5.1 observation that
+	// "filtering still continues to serve" at the largest threshold.
+	rng := rand.New(rand.NewSource(2))
+	L, e := 100, 10
+	windows := NewKernel(ModeGPU, L, e)
+	runs := NewKernel(ModeGPU, L, e)
+	runs.SetAblation(Ablation{CountRuns: true})
+	rejWindows, rejRuns := 0, 0
+	for i := 0; i < 300; i++ {
+		read := dna.RandomSeq(rng, L)
+		ref := dna.RandomSeq(rng, L)
+		if !windows.Filter(read, ref, e).Accept {
+			rejWindows++
+		}
+		if !runs.Filter(read, ref, e).Accept {
+			rejRuns++
+		}
+	}
+	if rejWindows <= rejRuns {
+		t.Errorf("windowed counter should out-reject run counting at e=10: windows=%d runs=%d",
+			rejWindows, rejRuns)
+	}
+	if rejWindows < 250 {
+		t.Errorf("windowed counter rejected only %d/300 random pairs at e=10", rejWindows)
+	}
+}
+
+func TestAblationRunCountingStillNoFalseRejects(t *testing.T) {
+	// Both counters must preserve the zero-false-reject property; they
+	// differ only on the reject side.
+	rng := rand.New(rand.NewSource(3))
+	kern := NewKernel(ModeGPU, 100, 5)
+	kern.SetAblation(Ablation{CountRuns: true})
+	for i := 0; i < 200; i++ {
+		read := dna.RandomSeq(rng, 100)
+		ref := dna.MutateSubstitutions(rng, read, rng.Intn(6))
+		if !kern.Filter(read, ref, 5).Accept {
+			t.Fatalf("run-counting ablation falsely rejected %d substitutions", i)
+		}
+	}
+}
+
+func TestAblationZeroValueIsFullAlgorithm(t *testing.T) {
+	pairs, dists := ablationDataset(4, 100, 100)
+	a := NewKernel(ModeGPU, 100, 5)
+	b := NewKernel(ModeGPU, 100, 5)
+	b.SetAblation(Ablation{})
+	for i, p := range pairs {
+		da := a.Filter(p[0], p[1], 5)
+		db := b.Filter(p[0], p[1], 5)
+		if da != db {
+			t.Fatalf("zero-value ablation changed decision at pair %d (dist %d)", i, dists[i])
+		}
+	}
+}
+
+func TestKernelStateless(t *testing.T) {
+	// The kernel reuses scratch buffers; verify no state leaks between
+	// filtrations (same input, same answer, regardless of what ran before).
+	rng := rand.New(rand.NewSource(5))
+	kern := NewKernel(ModeGPU, 100, 5)
+	read := dna.RandomSeq(rng, 100)
+	ref := dna.MutateSubstitutions(rng, read, 7)
+	first := kern.Filter(read, ref, 5)
+	for i := 0; i < 20; i++ {
+		kern.Filter(dna.RandomSeq(rng, 100), dna.RandomSeq(rng, 100), i%6)
+	}
+	if again := kern.Filter(read, ref, 5); again != first {
+		t.Fatalf("scratch state leaked: %+v vs %+v", again, first)
+	}
+}

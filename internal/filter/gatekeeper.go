@@ -1,0 +1,251 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dna"
+)
+
+// Mode selects between the two GateKeeper algorithm variants the paper
+// compares.
+type Mode int
+
+const (
+	// ModeGPU is the improved algorithm of GateKeeper-GPU: after amendment,
+	// the bits vacated by each shift (k leading characters of a k-deletion
+	// mask, k trailing characters of a k-insertion mask) are forced to 1 so
+	// the final AND cannot hide mismatches near the sequence edges
+	// (Section 3.4, Figure 2). This is the accuracy contribution that yields
+	// up to 52x fewer false accepts.
+	ModeGPU Mode = iota
+	// ModeFPGA reproduces the original GateKeeper bit-vector behaviour
+	// (identical to SHD's, per the paper's comparison tables): vacated bits
+	// stay 0 and dominate the AND, so edge errors can be missed and the
+	// filter degenerates to accept-all at high error thresholds.
+	ModeFPGA
+)
+
+// Ablation switches off individual design elements of the GateKeeper-GPU
+// kernel so their contribution can be measured in isolation (the ablation
+// experiments of DESIGN.md). The zero value is the full algorithm.
+type Ablation struct {
+	// SkipAmendment disables the short-zero-streak amendment; without it a
+	// single chance match inside any of the 2e+1 masks zeroes the AND and
+	// hides genuine mismatches, inflating false accepts.
+	SkipAmendment bool
+	// CountRuns replaces the windowed-LUT error counter with counting
+	// maximal 1-runs. Runs undercount clustered mismatches, so the filter
+	// stops discriminating at high error thresholds.
+	CountRuns bool
+}
+
+// Kernel performs GateKeeper filtrations for one fixed read length and
+// maximum error threshold. Mirroring the CUDA kernel, whose bitmask arrays
+// live in a reserved per-thread stack frame sized at compile time ("read
+// length and error threshold should be specified at compile time"), a Kernel
+// pre-allocates every scratch buffer at construction and is therefore NOT
+// safe for concurrent use; allocate one Kernel per worker, exactly as the
+// GPU allocates one stack frame per thread.
+type Kernel struct {
+	mode    Mode
+	readLen int
+	maxE    int
+	ablate  Ablation
+
+	encWords  int // encoded words per sequence
+	maskWords int // mask words per sequence
+
+	// Per-thread "stack frame": encoding buffers, shift/XOR temporaries, the
+	// accumulated AND of amended masks, and amendment scratch.
+	readEnc, refEnc   []uint32
+	shifted, xorBuf   []uint32
+	charMask, amended []uint32
+	final             []uint32
+	amendUp, amendDn  []uint32
+	amendDn2          []uint32
+}
+
+// NewKernel builds a kernel for reads of length readLen filtered at error
+// thresholds up to maxE. maxE may be exceeded at Filter time only up to the
+// configured value; larger thresholds return an error from FilterChecked.
+func NewKernel(mode Mode, readLen, maxE int) *Kernel {
+	ew := bitvec.EncodedWords(readLen)
+	mw := bitvec.MaskWords(readLen)
+	return &Kernel{
+		mode:      mode,
+		readLen:   readLen,
+		maxE:      maxE,
+		encWords:  ew,
+		maskWords: mw,
+		readEnc:   make([]uint32, ew),
+		refEnc:    make([]uint32, ew),
+		shifted:   make([]uint32, ew),
+		xorBuf:    make([]uint32, ew),
+		charMask:  make([]uint32, mw),
+		amended:   make([]uint32, mw),
+		final:     make([]uint32, mw),
+		amendUp:   make([]uint32, mw),
+		amendDn:   make([]uint32, mw),
+		amendDn2:  make([]uint32, mw),
+	}
+}
+
+// SetAblation configures ablation switches; see Ablation. Call before the
+// first filtration.
+func (k *Kernel) SetAblation(a Ablation) { k.ablate = a }
+
+// ReadLen returns the configured read length.
+func (k *Kernel) ReadLen() int { return k.readLen }
+
+// MaxE returns the configured maximum error threshold.
+func (k *Kernel) MaxE() int { return k.maxE }
+
+// Mode returns the algorithm variant.
+func (k *Kernel) Mode() Mode { return k.mode }
+
+// FilterEncoded runs one filtration on pre-encoded sequences (the
+// host-encoded pipeline). Both slices must hold EncodedWords(readLen) words.
+// It returns the approximated edit distance and the accept decision.
+func (k *Kernel) FilterEncoded(readEnc, refEnc []uint32, e int) (estimate int, accept bool) {
+	L := k.readLen
+	// Hamming mask: XOR for exact match detection.
+	bitvec.XorInto(k.xorBuf, readEnc, refEnc)
+	bitvec.Collapse(k.charMask, k.xorBuf)
+	bitvec.ClearTail(k.charMask, L)
+
+	if e == 0 {
+		// Exact matching only: accept iff the Hamming mask is clean.
+		est := bitvec.CountWindowsLUT(k.charMask, L)
+		return est, est == 0
+	}
+
+	// final := amend(Hamming mask).
+	k.amend(k.final, k.charMask, L)
+
+	for shift := 1; shift <= e; shift++ {
+		// Deletion mask: read shifted towards higher positions by `shift`
+		// characters (2*shift bits plus the carry-bit transfer).
+		bitvec.ShiftCharsUp(k.shifted, readEnc, shift)
+		bitvec.XorInto(k.xorBuf, k.shifted, refEnc)
+		bitvec.Collapse(k.charMask, k.xorBuf)
+		bitvec.ClearTail(k.charMask, L)
+		k.amend(k.amended, k.charMask, L)
+		if k.mode == ModeGPU {
+			bitvec.SetLeadingOnes(k.amended, shift)
+		} else {
+			bitvec.ClearLeading(k.amended, shift)
+		}
+		bitvec.AndInto(k.final, k.final, k.amended)
+
+		// Insertion mask: read shifted towards lower positions.
+		bitvec.ShiftCharsDown(k.shifted, readEnc, shift)
+		bitvec.XorInto(k.xorBuf, k.shifted, refEnc)
+		bitvec.Collapse(k.charMask, k.xorBuf)
+		bitvec.ClearTail(k.charMask, L)
+		k.amend(k.amended, k.charMask, L)
+		if k.mode == ModeGPU {
+			bitvec.SetTrailingOnes(k.amended, L, shift)
+		} else {
+			bitvec.ClearTrailing(k.amended, L, shift)
+		}
+		bitvec.AndInto(k.final, k.final, k.amended)
+	}
+
+	estimate = k.countErrors(k.final, L)
+	return estimate, estimate <= e
+}
+
+// amend applies the short-zero-streak amendment unless ablated away.
+func (k *Kernel) amend(dst, src []uint32, n int) {
+	if k.ablate.SkipAmendment {
+		copy(dst, src)
+		return
+	}
+	bitvec.AmendScratch(dst, src, n, k.amendUp, k.amendDn, k.amendDn2)
+}
+
+// countErrors applies the configured error counter.
+func (k *Kernel) countErrors(mask []uint32, n int) int {
+	if k.ablate.CountRuns {
+		return bitvec.CountRunsLUT(mask, n)
+	}
+	return bitvec.CountWindowsLUT(mask, n)
+}
+
+// Filter runs one filtration on raw sequences, encoding them first (the
+// device-encoded pipeline: "the kernel performs the complete set of
+// operations for a single filtration, starting with encoding the sequences
+// if they are not encoded in the preprocessing stage"). Pairs containing
+// unknown base calls bypass filtration as undefined.
+func (k *Kernel) Filter(read, ref []byte, e int) Decision {
+	d, err := k.FilterChecked(read, ref, e)
+	if err != nil {
+		panic(err) // programming error: caller violated the configured geometry
+	}
+	return d
+}
+
+// FilterChecked is Filter returning geometry violations as errors instead of
+// panicking.
+func (k *Kernel) FilterChecked(read, ref []byte, e int) (Decision, error) {
+	if len(read) != k.readLen || len(ref) != k.readLen {
+		return Decision{}, fmt.Errorf("filter: kernel configured for length %d, got read=%d ref=%d",
+			k.readLen, len(read), len(ref))
+	}
+	if e < 0 || e > k.maxE {
+		return Decision{}, fmt.Errorf("filter: error threshold %d outside configured [0,%d]", e, k.maxE)
+	}
+	if dna.HasN(read) || dna.HasN(ref) {
+		return Decision{Accept: true, Undefined: true}, nil
+	}
+	if err := dna.EncodeInto(k.readEnc, read); err != nil {
+		return Decision{}, err
+	}
+	if err := dna.EncodeInto(k.refEnc, ref); err != nil {
+		return Decision{}, err
+	}
+	est, accept := k.FilterEncoded(k.readEnc, k.refEnc, e)
+	return Decision{Accept: accept, Estimate: est}, nil
+}
+
+// gateKeeper adapts Kernel to the Filter interface for arbitrary lengths and
+// thresholds by keeping a small cache of kernels keyed by geometry. It is
+// the convenience path; hot loops should hold a Kernel directly.
+type gateKeeper struct {
+	mode    Mode
+	name    string
+	kernels map[[2]int]*Kernel
+}
+
+// NewGateKeeperGPU returns the improved GateKeeper filter of the paper.
+// The returned Filter is not safe for concurrent use (see Kernel).
+func NewGateKeeperGPU() Filter {
+	return &gateKeeper{mode: ModeGPU, name: "GateKeeper-GPU", kernels: map[[2]int]*Kernel{}}
+}
+
+// NewGateKeeperFPGA returns the original GateKeeper behaviour, used as the
+// FPGA baseline in every comparison figure.
+func NewGateKeeperFPGA() Filter {
+	return &gateKeeper{mode: ModeFPGA, name: "GateKeeper-FPGA", kernels: map[[2]int]*Kernel{}}
+}
+
+// NewSHD returns the Shifted Hamming Distance filter. SHD is the software
+// ancestor of GateKeeper and produces identical decisions (the paper's
+// comparison tables report identical false-accept counts for the two), so it
+// shares the ModeFPGA kernel under its own name.
+func NewSHD() Filter {
+	return &gateKeeper{mode: ModeFPGA, name: "SHD", kernels: map[[2]int]*Kernel{}}
+}
+
+func (g *gateKeeper) Name() string { return g.name }
+
+func (g *gateKeeper) Filter(read, ref []byte, e int) Decision {
+	key := [2]int{len(read), e}
+	k := g.kernels[key]
+	if k == nil {
+		k = NewKernel(g.mode, len(read), e)
+		g.kernels[key] = k
+	}
+	return k.Filter(read, ref, e)
+}

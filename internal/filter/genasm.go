@@ -1,0 +1,104 @@
+package filter
+
+// genASM is a GenASM-style pre-alignment filter (Senol Cali et al., MICRO
+// 2020, discussed in the paper's related work): approximate string matching
+// with the Bitap algorithm extended to edits (Wu-Manber), bit-parallel over
+// 64-bit words. The read is matched against the candidate segment in
+// semi-global mode (free leading deletions of the segment); the pair is
+// accepted when a match with at most e errors ends at the segment's final
+// position. Semi-global distance lower-bounds global distance, so the
+// filter never falsely rejects.
+type genASM struct{}
+
+// NewGenASM returns the GenASM-like Bitap baseline. It is stateless and
+// safe for concurrent use.
+func NewGenASM() Filter { return genASM{} }
+
+func (genASM) Name() string { return "GenASM" }
+
+func (genASM) Filter(read, ref []byte, e int) Decision {
+	if len(read) != len(ref) {
+		return Decision{Accept: false}
+	}
+	m := len(read)
+	if m == 0 {
+		return Decision{Accept: true}
+	}
+	words := (m + 63) / 64
+	lastWord := words - 1
+	lastBit := uint((m - 1) % 64)
+
+	// Pattern masks: pm[c][w] has bit i set when read[i] == c.
+	var pm [256][]uint64
+	for i, c := range read {
+		if pm[c] == nil {
+			pm[c] = make([]uint64, words)
+		}
+		pm[c][i/64] |= uint64(1) << uint(i%64)
+	}
+	zero := make([]uint64, words)
+
+	// r[d] is the Bitap state for exactly d errors; bit i set means the
+	// read's prefix of length i+1 matches a window ending at the current
+	// text position with <= d errors.
+	r := make([][]uint64, e+1)
+	next := make([][]uint64, e+1)
+	for d := range r {
+		r[d] = make([]uint64, words)
+		next[d] = make([]uint64, words)
+		// Initial state: the length-i prefix of the read aligns against the
+		// empty text with i edits, so R[d] starts with its d lowest bits set.
+		for i := 0; i < d && i < m; i++ {
+			r[d][i/64] |= uint64(1) << uint(i%64)
+		}
+	}
+
+	estimate := e + 1
+	for j := 0; j < m; j++ {
+		mask := pm[ref[j]]
+		if mask == nil {
+			mask = zero
+		}
+		for d := 0; d <= e; d++ {
+			// next[d] = ((r[d] << 1) | 1) & mask                  (match)
+			//         | r[d-1]                                    (deletion)
+			//         | (r[d-1] << 1)                             (substitution)
+			//         | (next[d-1] << 1)                          (insertion)
+			shiftedOld := shiftLeftOne(r[d])
+			shiftedOld[0] |= 1
+			for w := 0; w < words; w++ {
+				next[d][w] = shiftedOld[w] & mask[w]
+			}
+			if d > 0 {
+				subIns := shiftLeftOne(r[d-1])
+				insNew := shiftLeftOne(next[d-1])
+				subIns[0] |= 1
+				insNew[0] |= 1
+				for w := 0; w < words; w++ {
+					next[d][w] |= r[d-1][w] | subIns[w] | insNew[w]
+				}
+			}
+		}
+		r, next = next, r
+		if j == m-1 {
+			for d := 0; d <= e; d++ {
+				if r[d][lastWord]>>lastBit&1 == 1 {
+					estimate = d
+					break
+				}
+			}
+		}
+	}
+	return Decision{Accept: estimate <= e, Estimate: estimate}
+}
+
+// shiftLeftOne returns v shifted left by one bit across words.
+func shiftLeftOne(v []uint64) []uint64 {
+	out := make([]uint64, len(v))
+	var carry uint64
+	for w := 0; w < len(v); w++ {
+		out[w] = v[w]<<1 | carry
+		carry = v[w] >> 63
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+)
+
+func TestGenASMAcceptsExactAndSubs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGenASM()
+	for _, L := range []int{50, 100, 150, 250} {
+		read := dna.RandomSeq(rng, L)
+		if d := g.Filter(read, read, 0); !d.Accept || d.Estimate != 0 {
+			t.Fatalf("exact match L=%d: %+v", L, d)
+		}
+		for k := 0; k <= 5; k++ {
+			ref := dna.MutateSubstitutions(rng, read, k)
+			if d := g.Filter(read, ref, 5); !d.Accept {
+				t.Fatalf("%d subs at e=5 rejected (est=%d)", k, d.Estimate)
+			}
+		}
+	}
+}
+
+func TestGenASMEstimateLowerBoundsGlobalDistance(t *testing.T) {
+	// Semi-global Bitap distance <= global edit distance, hence never a
+	// false reject.
+	rng := rand.New(rand.NewSource(2))
+	g := NewGenASM()
+	for trial := 0; trial < 200; trial++ {
+		L := 40 + rng.Intn(120)
+		read := dna.RandomSeq(rng, L)
+		var ref []byte
+		if trial%4 == 0 {
+			ref = dna.RandomSeq(rng, L)
+		} else {
+			mutated := dna.ApplyEdits(read, dna.RandomEdits(rng, L, rng.Intn(10), 0.4))
+			ref = make([]byte, L)
+			c := copy(ref, mutated)
+			for i := c; i < L; i++ {
+				ref[i] = dna.Alphabet[rng.Intn(4)]
+			}
+		}
+		e := rng.Intn(10)
+		d := g.Filter(read, ref, e)
+		trueDist := align.Distance(read, ref)
+		if d.Estimate <= e && d.Estimate > trueDist {
+			t.Fatalf("estimate %d exceeds true distance %d", d.Estimate, trueDist)
+		}
+		if trueDist <= e && !d.Accept {
+			t.Fatalf("false reject: trueDist=%d e=%d est=%d", trueDist, e, d.Estimate)
+		}
+	}
+}
+
+func TestGenASMRejectsDissimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGenASM()
+	rejects := 0
+	for i := 0; i < 100; i++ {
+		a := dna.RandomSeq(rng, 100)
+		b := dna.RandomSeq(rng, 100)
+		if !g.Filter(a, b, 5).Accept {
+			rejects++
+		}
+	}
+	if rejects < 95 {
+		t.Fatalf("GenASM rejected only %d/100 random pairs at e=5", rejects)
+	}
+}
+
+func TestGenASMSingleIndel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewGenASM()
+	for trial := 0; trial < 50; trial++ {
+		L := 100
+		read := dna.RandomSeq(rng, L)
+		pos := rng.Intn(L - 1)
+		var op dna.Edit
+		if trial%2 == 0 {
+			op = dna.Edit{Pos: pos, Op: 'D'}
+		} else {
+			op = dna.Edit{Pos: pos, Op: 'I', Base: dna.Alphabet[rng.Intn(4)]}
+		}
+		mutated := dna.ApplyEdits(read, []dna.Edit{op})
+		ref := make([]byte, L)
+		c := copy(ref, mutated)
+		for i := c; i < L; i++ {
+			ref[i] = read[i]
+		}
+		if d := g.Filter(read, ref, 2); !d.Accept {
+			t.Fatalf("single indel rejected at e=2 (trial %d, est=%d)", trial, d.Estimate)
+		}
+	}
+}
+
+func TestGenASMEdgeCases(t *testing.T) {
+	g := NewGenASM()
+	if g.Filter([]byte("ACGT"), []byte("ACG"), 2).Accept {
+		t.Fatal("length mismatch accepted")
+	}
+	if !g.Filter(nil, nil, 0).Accept {
+		t.Fatal("empty pair rejected")
+	}
+	if _, err := New("genasm"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenASMMultiWordPatterns(t *testing.T) {
+	// Reads beyond 64 and 128 bases exercise the carry chain.
+	rng := rand.New(rand.NewSource(5))
+	g := NewGenASM()
+	for _, L := range []int{64, 65, 128, 129, 200, 250} {
+		read := dna.RandomSeq(rng, L)
+		ref := dna.MutateSubstitutions(rng, read, 3)
+		d := g.Filter(read, ref, 4)
+		if !d.Accept {
+			t.Fatalf("L=%d: 3 subs rejected at e=4 (est=%d)", L, d.Estimate)
+		}
+		if d.Estimate > 3 {
+			t.Fatalf("L=%d: estimate %d above true distance 3", L, d.Estimate)
+		}
+	}
+}

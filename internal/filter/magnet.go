@@ -1,0 +1,59 @@
+package filter
+
+// magnet implements the MAGNET pre-alignment filter (Alser, Mutlu, Alkan,
+// 2017). MAGNET addresses SHD's two main sources of false accepts — ignored
+// leading/trailing zeros and naive consecutive-bit counting — by extracting,
+// across all 2e+1 diagonal vectors, the e+1 longest non-overlapping runs of
+// consecutive matches. Each extraction consumes a one-character border on
+// each side (the presumed edit separating consecutive exact regions); the
+// pair is accepted when the unmatched remainder is within the threshold.
+type magnet struct{}
+
+// NewMAGNET returns the MAGNET baseline filter. It is stateless and safe for
+// concurrent use.
+func NewMAGNET() Filter { return magnet{} }
+
+func (magnet) Name() string { return "MAGNET" }
+
+type magnetInterval struct{ lo, hi int }
+
+func (magnet) Filter(read, ref []byte, e int) Decision {
+	if len(read) != len(ref) {
+		return Decision{Accept: false}
+	}
+	L := len(read)
+	if L == 0 {
+		return Decision{Accept: true}
+	}
+	masks := neighborhood(read, ref, e)
+
+	intervals := []magnetInterval{{0, L}}
+	matched := 0
+	for extraction := 0; extraction < e+1; extraction++ {
+		bestLen, bestStart, bestIv := 0, 0, -1
+		for ivIdx, iv := range intervals {
+			if iv.hi-iv.lo <= 0 {
+				continue
+			}
+			for _, m := range masks {
+				start, length := longestZeroRunBool(m, iv.lo, iv.hi)
+				if length > bestLen {
+					bestLen, bestStart, bestIv = length, start, ivIdx
+				}
+			}
+		}
+		if bestLen == 0 {
+			break
+		}
+		matched += bestLen
+		iv := intervals[bestIv]
+		// Split the interval, excluding one border character on each side of
+		// the extracted region: those positions are the edits that separate
+		// consecutive exact-matching segments.
+		intervals[bestIv] = magnetInterval{iv.lo, bestStart - 1}
+		intervals = append(intervals, magnetInterval{bestStart + bestLen + 1, iv.hi})
+	}
+
+	estimate := L - matched
+	return Decision{Accept: estimate <= e, Estimate: estimate}
+}

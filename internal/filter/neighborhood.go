@@ -1,0 +1,51 @@
+package filter
+
+// neighborhood builds the 2e+1 diagonal mismatch vectors shared by the
+// MAGNET, Shouji and SneakySnake baselines. Entry masks[e+d][i] is false
+// (match) when the read shifted by d characters agrees with the reference at
+// position i, for diagonals d in [-e, +e]; positions the shift vacates are
+// mismatches. Diagonal d=+k corresponds to GateKeeper's k-deletion mask and
+// d=-k to its k-insertion mask.
+//
+// Byte equality is used directly, so an 'N' matches another 'N' — the
+// comparator tools have no undefined-pair mechanism, which is why the
+// paper's comparison tables fold GateKeeper-GPU's undefined pairs into its
+// false-accept counts.
+func neighborhood(read, ref []byte, e int) [][]bool {
+	L := len(read)
+	masks := make([][]bool, 2*e+1)
+	for d := -e; d <= e; d++ {
+		m := make([]bool, L)
+		for i := 0; i < L; i++ {
+			ri := i - d // read index aligned against ref position i
+			if ri < 0 || ri >= L {
+				m[i] = true
+				continue
+			}
+			m[i] = read[ri] != ref[i]
+		}
+		masks[e+d] = m
+	}
+	return masks
+}
+
+// longestZeroRunBool finds the longest run of matches (false entries) in
+// mask within [lo, hi), returning its start and length (0 when none).
+func longestZeroRunBool(mask []bool, lo, hi int) (start, length int) {
+	bestStart, bestLen := lo, 0
+	curStart, curLen := lo, 0
+	for i := lo; i < hi; i++ {
+		if !mask[i] {
+			if curLen == 0 {
+				curStart = i
+			}
+			curLen++
+			if curLen > bestLen {
+				bestStart, bestLen = curStart, curLen
+			}
+		} else {
+			curLen = 0
+		}
+	}
+	return bestStart, bestLen
+}

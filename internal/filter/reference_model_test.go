@@ -1,0 +1,171 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+)
+
+// refModel is a deliberately slow, per-character implementation of the
+// GateKeeper-GPU algorithm — no bit tricks, no word packing — used as the
+// oracle for the bit-parallel kernel. Any divergence between the two is a
+// bug in the carry-transfer shifts, the collapse, the amendment, the edge
+// forcing, or the windowed counter.
+func refModel(read, ref []byte, e int, mode Mode) (estimate int, accept bool) {
+	L := len(read)
+	// Hamming mask.
+	hamming := make([]bool, L)
+	for i := range hamming {
+		hamming[i] = read[i] != ref[i]
+	}
+	if e == 0 {
+		est := refWindows(hamming)
+		return est, est == 0
+	}
+	final := refAmendBools(hamming)
+	for k := 1; k <= e; k++ {
+		// Deletion mask: read shifted towards higher positions. The shift
+		// brings in zero bits, which decode as 'A', so before amendment a
+		// vacated position compares 'A' against the reference — exactly
+		// what the real bit-parallel XOR produces.
+		del := make([]bool, L)
+		for i := range del {
+			if i-k < 0 {
+				del[i] = ref[i] != 'A'
+			} else {
+				del[i] = read[i-k] != ref[i]
+			}
+		}
+		del = refAmendBools(del)
+		for i := 0; i < k; i++ {
+			del[i] = mode == ModeGPU // GPU forces 1s, FPGA zeroes
+		}
+		// Insertion mask: read shifted towards lower positions.
+		ins := make([]bool, L)
+		for i := range ins {
+			if i+k >= L {
+				ins[i] = ref[i] != 'A'
+			} else {
+				ins[i] = read[i+k] != ref[i]
+			}
+		}
+		ins = refAmendBools(ins)
+		for i := L - k; i < L; i++ {
+			ins[i] = mode == ModeGPU
+		}
+		for i := range final {
+			final[i] = final[i] && del[i] && ins[i]
+		}
+	}
+	est := refWindows(final)
+	return est, est <= e
+}
+
+// refAmendBools turns 0-runs of length <= 2 flanked by 1s into 1s.
+func refAmendBools(mask []bool) []bool {
+	out := append([]bool(nil), mask...)
+	n := len(mask)
+	for i := 0; i < n; i++ {
+		if mask[i] {
+			continue
+		}
+		j := i
+		for j < n && !mask[j] {
+			j++
+		}
+		if j-i <= 2 && i-1 >= 0 && mask[i-1] && j < n && mask[j] {
+			for p := i; p < j; p++ {
+				out[p] = true
+			}
+		}
+		i = j - 1
+	}
+	return out
+}
+
+// refWindows counts non-overlapping 4-bit windows containing any set bit.
+func refWindows(mask []bool) int {
+	count := 0
+	for i := 0; i < len(mask); i += 4 {
+		hi := i + 4
+		if hi > len(mask) {
+			hi = len(mask)
+		}
+		for p := i; p < hi; p++ {
+			if mask[p] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+func TestKernelMatchesReferenceModelExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, L := range []int{17, 32, 33, 100, 150, 250} {
+		for _, e := range []int{0, 1, 2, 5, L / 10} {
+			for _, mode := range []Mode{ModeGPU, ModeFPGA} {
+				kern := NewKernel(mode, L, e)
+				for trial := 0; trial < 25; trial++ {
+					read := dna.RandomSeq(rng, L)
+					var ref []byte
+					switch trial % 3 {
+					case 0:
+						ref = dna.MutateSubstitutions(rng, read, rng.Intn(L/4+1))
+					case 1:
+						mutated := dna.ApplyEdits(read, dna.RandomEdits(rng, L, rng.Intn(e+3), 0.5))
+						ref = make([]byte, L)
+						c := copy(ref, mutated)
+						for i := c; i < L; i++ {
+							ref[i] = dna.Alphabet[rng.Intn(4)]
+						}
+					default:
+						ref = dna.RandomSeq(rng, L)
+					}
+					wantEst, wantAccept := refModel(read, ref, e, mode)
+					d := kern.Filter(read, ref, e)
+					if d.Accept != wantAccept || d.Estimate != wantEst {
+						t.Fatalf("L=%d e=%d mode=%v trial=%d: kernel (est=%d acc=%v) vs model (est=%d acc=%v)\nread=%s\nref =%s",
+							L, e, mode, trial, d.Estimate, d.Accept, wantEst, wantAccept, read, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelMatchesReferenceModelQuick(t *testing.T) {
+	kernGPU := NewKernel(ModeGPU, 64, 6)
+	kernFPGA := NewKernel(ModeFPGA, 64, 6)
+	f := func(rawRead, rawRef [64]byte, eRaw uint8) bool {
+		read := make([]byte, 64)
+		ref := make([]byte, 64)
+		for i := 0; i < 64; i++ {
+			read[i] = dna.Alphabet[int(rawRead[i])%4]
+			// Bias towards similarity so both branches of the decision are hit.
+			if rawRef[i]%4 == 0 {
+				ref[i] = dna.Alphabet[int(rawRef[i]/4)%4]
+			} else {
+				ref[i] = read[i]
+			}
+		}
+		e := int(eRaw) % 7
+		for _, tc := range []struct {
+			kern *Kernel
+			mode Mode
+		}{{kernGPU, ModeGPU}, {kernFPGA, ModeFPGA}} {
+			wantEst, wantAccept := refModel(read, ref, e, tc.mode)
+			d := tc.kern.Filter(read, ref, e)
+			if d.Accept != wantAccept || d.Estimate != wantEst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

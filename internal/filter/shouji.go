@@ -1,0 +1,78 @@
+package filter
+
+// shouji implements the Shouji pre-alignment filter (Alser et al., 2019).
+// Shouji builds a neighborhood map of 2e+1 diagonals, then slides a 4-column
+// window across it; in each window it selects the diagonal segment with the
+// most matches and, if that segment improves on what previous windows
+// recorded, copies it into a global bitvector. The surviving 1s approximate
+// the alignment's edits: the pair is accepted when their count is within the
+// threshold.
+type shouji struct{}
+
+// shoujiWindow is the sliding search window size used by the paper.
+const shoujiWindow = 4
+
+// NewShouji returns the Shouji baseline filter. It is stateless and safe for
+// concurrent use.
+func NewShouji() Filter { return shouji{} }
+
+func (shouji) Name() string { return "Shouji" }
+
+func (shouji) Filter(read, ref []byte, e int) Decision {
+	if len(read) != len(ref) {
+		return Decision{Accept: false}
+	}
+	L := len(read)
+	if L == 0 {
+		return Decision{Accept: true}
+	}
+	masks := neighborhood(read, ref, e)
+
+	// The Shouji bitvector starts all-ones (no common subsequence found yet).
+	sb := make([]bool, L)
+	for i := range sb {
+		sb[i] = true
+	}
+
+	for j := 0; j < L; j++ {
+		hi := j + shoujiWindow
+		if hi > L {
+			hi = L
+		}
+		// Find the diagonal with the most matches in this window.
+		var best []bool
+		bestZeros := -1
+		for _, m := range masks {
+			zeros := 0
+			for i := j; i < hi; i++ {
+				if !m[i] {
+					zeros++
+				}
+			}
+			if zeros > bestZeros {
+				bestZeros, best = zeros, m
+			}
+		}
+		// Copy it in only if it improves on what is already recorded, which
+		// keeps the selected common subsequences non-overlapping.
+		existing := 0
+		for i := j; i < hi; i++ {
+			if !sb[i] {
+				existing++
+			}
+		}
+		if bestZeros > existing {
+			for i := j; i < hi; i++ {
+				sb[i] = best[i]
+			}
+		}
+	}
+
+	estimate := 0
+	for _, bit := range sb {
+		if bit {
+			estimate++
+		}
+	}
+	return Decision{Accept: estimate <= e, Estimate: estimate}
+}

@@ -1,0 +1,62 @@
+package filter
+
+// sneakySnake implements the SneakySnake pre-alignment filter (Alser et al.,
+// 2020). SneakySnake casts approximate string matching as single net routing
+// on a (2e+1) x L grid ("the chip maze"): a signal travels from the first
+// column to the last along horizontal match segments of any diagonal, and
+// each obstacle crossing — a column where no diagonal offers a match
+// extension — costs one edit. The greedy solution is optimal for this
+// formulation: from the current column, follow the diagonal whose run of
+// consecutive matches reaches furthest, then pay one edit to hop the
+// obstacle.
+type sneakySnake struct{}
+
+// NewSneakySnake returns the SneakySnake baseline filter. It is stateless
+// and safe for concurrent use.
+func NewSneakySnake() Filter { return sneakySnake{} }
+
+func (sneakySnake) Name() string { return "SneakySnake" }
+
+func (sneakySnake) Filter(read, ref []byte, e int) Decision {
+	if len(read) != len(ref) {
+		return Decision{Accept: false}
+	}
+	L := len(read)
+	if L == 0 {
+		return Decision{Accept: true}
+	}
+
+	edits := 0
+	col := 0
+	for col < L {
+		// Longest run of consecutive matches starting at this column over
+		// all diagonals in [-e, +e].
+		bestRun := 0
+		for d := -e; d <= e; d++ {
+			run := 0
+			for col+run < L {
+				ri := col + run - d
+				if ri < 0 || ri >= L || read[ri] != ref[col+run] {
+					break
+				}
+				run++
+			}
+			if run > bestRun {
+				bestRun = run
+				if col+run >= L {
+					break // already reaches the end; no better option exists
+				}
+			}
+		}
+		col += bestRun
+		if col < L {
+			// Obstacle: no diagonal extends the net here; one edit to cross.
+			edits++
+			col++
+			if edits > e {
+				return Decision{Accept: false, Estimate: edits}
+			}
+		}
+	}
+	return Decision{Accept: edits <= e, Estimate: edits}
+}

@@ -1,0 +1,113 @@
+package filter
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestTraceMatchesKernelDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		L := 40 + rng.Intn(80)
+		e := rng.Intn(6)
+		read := dna.RandomSeq(rng, L)
+		ref := dna.MutateSubstitutions(rng, read, rng.Intn(10))
+		for _, mode := range []Mode{ModeGPU, ModeFPGA} {
+			tr, err := Trace(mode, read, ref, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kern := NewKernel(mode, L, e)
+			d := kern.Filter(read, ref, e)
+			if tr.Accept != d.Accept || tr.Estimate != d.Estimate {
+				t.Fatalf("trace (est=%d acc=%v) != kernel (est=%d acc=%v), mode=%v trial=%d",
+					tr.Estimate, tr.Accept, d.Estimate, d.Accept, mode, trial)
+			}
+		}
+	}
+}
+
+func TestTraceStructure(t *testing.T) {
+	read := []byte("ACGTACGTACGTACGT")
+	ref := []byte("ACGTACATACGTACGT")
+	tr, err := Trace(ModeGPU, read, ref, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 5 { // Hamming + 2 deletions + 2 insertions
+		t.Fatalf("got %d steps, want 5", len(tr.Steps))
+	}
+	if tr.Steps[0].Name != "Hamming" || tr.Steps[0].Shift != 0 {
+		t.Fatalf("first step: %+v", tr.Steps[0])
+	}
+	if tr.Steps[1].Shift != 1 || tr.Steps[2].Shift != -1 {
+		t.Fatalf("shift order wrong: %+v %+v", tr.Steps[1], tr.Steps[2])
+	}
+	for _, s := range tr.Steps {
+		if len(s.H) != 16 || len(s.A) != 16 {
+			t.Fatalf("mask strings wrong length in %q", s.Name)
+		}
+	}
+	// Hamming mask must flag exactly the one substitution.
+	if strings.Count(tr.Steps[0].H, "1") != 1 {
+		t.Fatalf("Hamming mask = %s", tr.Steps[0].H)
+	}
+	out := tr.Render()
+	for _, want := range []string{"GateKeeper-GPU", "Hamming", "AND", "estimate="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceFigure2EdgeScenario(t *testing.T) {
+	// The Figure 2/3 demonstration: edge mismatches survive the AND in GPU
+	// mode (forced 1s) and vanish in FPGA mode (vacated zeros).
+	L, e := 40, 2
+	read := []byte(strings.Repeat("A", L))
+	ref := append([]byte(nil), read...)
+	ref[0], ref[1] = 'C', 'C'
+	ref[L-1], ref[L-2] = 'C', 'C'
+	ref[20] = 'C'
+
+	gpu, err := Trace(ModeGPU, read, ref, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpga, err := Trace(ModeFPGA, read, ref, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(gpu.Final, "11") || !strings.HasSuffix(gpu.Final, "11") {
+		t.Fatalf("GPU final mask lost edge errors: %s", gpu.Final)
+	}
+	if !strings.HasPrefix(fpga.Final, "00") || !strings.HasSuffix(fpga.Final, "00") {
+		t.Fatalf("FPGA final mask should erase edge errors: %s", fpga.Final)
+	}
+	if gpu.Estimate <= fpga.Estimate {
+		t.Fatalf("GPU estimate %d should exceed FPGA %d here", gpu.Estimate, fpga.Estimate)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := Trace(ModeGPU, []byte("ACG"), []byte("ACGT"), 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Trace(ModeGPU, []byte("ACNT"), []byte("ACGT"), 1); err == nil {
+		t.Fatal("N accepted in trace")
+	}
+}
+
+func TestTraceExactMode(t *testing.T) {
+	read := []byte("ACGTACGT")
+	tr, err := Trace(ModeGPU, read, read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Accept || tr.Estimate != 0 || len(tr.Steps) != 1 {
+		t.Fatalf("exact trace: %+v", tr)
+	}
+}

@@ -1,0 +1,109 @@
+package gkgpu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/filter"
+)
+
+// CPUEngine is the GateKeeper-CPU baseline of Section 4.3: the same improved
+// GateKeeper algorithm executed by host threads ("we implement
+// GateKeeper-CPU in a multicore fashion and report the results of 12
+// cores"). Its modelled times grow almost linearly with the error threshold,
+// which is the CPU-vs-GPU contrast of Figure S.12.
+type CPUEngine struct {
+	readLen int
+	maxE    int
+	cores   int
+	setup   Setup
+	model   cuda.CostModel
+	stats   Stats
+}
+
+// NewCPUEngine builds the baseline for one geometry and logical core count.
+func NewCPUEngine(readLen, maxE, cores int, setup Setup, model cuda.CostModel) (*CPUEngine, error) {
+	if readLen <= 0 || maxE < 0 || maxE > readLen {
+		return nil, fmt.Errorf("gkgpu: invalid CPU engine geometry L=%d e=%d", readLen, maxE)
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("gkgpu: invalid core count %d", cores)
+	}
+	if model == (cuda.CostModel{}) {
+		model = cuda.DefaultCostModel()
+	}
+	if setup.Name == "" {
+		setup = Setup1()
+	}
+	return &CPUEngine{readLen: readLen, maxE: maxE, cores: cores, setup: setup, model: model}, nil
+}
+
+// FilterPairs filters every pair on the host, fanning out across goroutines
+// (bounded by the configured core count) with one kernel stack per worker.
+func (c *CPUEngine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
+	if errThreshold < 0 || errThreshold > c.maxE {
+		return nil, fmt.Errorf("gkgpu: threshold %d outside [0,%d]", errThreshold, c.maxE)
+	}
+	results := make([]Result, len(pairs))
+	start := time.Now()
+	workers := cuda.MaxWorkers(len(pairs))
+	if workers > c.cores {
+		workers = c.cores
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			kern := filter.NewKernel(filter.ModeGPU, c.readLen, c.maxE)
+			for i := lo; i < hi; i++ {
+				d, err := kern.FilterChecked(pairs[i].Read, pairs[i].Ref, errThreshold)
+				if err != nil {
+					results[i] = Result{Accept: true}
+					continue
+				}
+				results[i] = Result{Accept: d.Accept, Undefined: d.Undefined, Estimate: uint16(d.Estimate)}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	w := cuda.Workload{Pairs: len(pairs), ReadLen: c.readLen, E: errThreshold, DeviceEncoded: true}
+	c.stats.KernelSeconds += c.model.CPUKernelSeconds(w, c.cores, c.setup.CPUFactor)
+	c.stats.FilterSeconds += c.model.CPUFilterSeconds(w, c.cores, c.setup.CPUFactor)
+	c.stats.Batches++
+	for _, r := range results {
+		c.stats.Pairs++
+		switch {
+		case r.Undefined:
+			c.stats.Undefined++
+			c.stats.Accepted++
+		case r.Accept:
+			c.stats.Accepted++
+		default:
+			c.stats.Rejected++
+		}
+	}
+	c.stats.WallSeconds += time.Since(start).Seconds()
+	return results, nil
+}
+
+// Stats returns the accumulated measurements.
+func (c *CPUEngine) Stats() Stats { return c.stats }
+
+// ResetStats clears the accumulated measurements.
+func (c *CPUEngine) ResetStats() { c.stats = Stats{} }

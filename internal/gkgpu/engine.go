@@ -1,0 +1,379 @@
+package gkgpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/cuda"
+	"repro/internal/dna"
+	"repro/internal/filter"
+)
+
+// Stats accumulates the measurements of Section 4.3 across an engine's
+// lifetime. KernelSeconds and FilterSeconds come from the calibrated cost
+// model (the paper's CUDA-event and host-side clocks); WallSeconds is the
+// real time this simulation spent, reported for transparency.
+type Stats struct {
+	Pairs     int64
+	Accepted  int64
+	Rejected  int64
+	Undefined int64
+	Batches   int64
+
+	KernelSeconds     float64 // modelled device time (max across devices per round)
+	FilterSeconds     float64 // modelled end-to-end filtering time
+	HostPrepSeconds   float64 // modelled host encode/fill share of FilterSeconds
+	TransferSeconds   float64 // modelled PCIe share of FilterSeconds
+	WallSeconds       float64
+	FaultMigrations   int64 // unified-memory bytes moved on demand
+	PrefetchMigration int64 // unified-memory bytes moved by prefetch
+}
+
+// RejectionRate returns rejected / total pairs.
+func (s Stats) RejectionRate() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.Rejected) / float64(s.Pairs)
+}
+
+// deviceState is the per-device slice of the engine: unified buffers, the
+// prefetch streams, and one filter kernel per executor goroutine (the
+// per-thread stack frames).
+type deviceState struct {
+	dev     *cuda.Device
+	sys     SystemConfig
+	readBuf *cuda.UMBuffer
+	refBuf  *cuda.UMBuffer
+	flagBuf *cuda.UMBuffer
+	resBuf  *cuda.UMBuffer
+	streams []*cuda.Stream
+	kernels []*filter.Kernel
+	// Host-encoded path scratch: per-worker word views of the packed input.
+	readWords [][]uint32
+	refWords  [][]uint32
+}
+
+// Engine is a GateKeeper-GPU instance bound to a context of simulated
+// devices. It is safe for sequential use; one engine drives all its devices
+// concurrently inside FilterPairs.
+type Engine struct {
+	cfg    Config
+	ctx    *cuda.Context
+	states []*deviceState
+	stats  Stats
+	ref    *reference // loaded by SetReference for the index-named path
+}
+
+// NewEngine configures buffers and kernels on every device of ctx for the
+// given geometry, performing the paper's configuration and resource
+// allocation stages.
+func NewEngine(cfg Config, ctx *cuda.Context) (*Engine, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx.NumDevices() == 0 {
+		return nil, fmt.Errorf("gkgpu: context has no devices")
+	}
+	e := &Engine{cfg: cfg, ctx: ctx}
+	for _, dev := range ctx.Devices() {
+		sys := Configure(dev.Spec, cfg.ReadLen, cfg.MaxE, cfg.Encoding,
+			cfg.ThreadsPerBlock, cfg.RegsPerThread, cfg.MaxBatchPairs)
+		st := &deviceState{dev: dev, sys: sys}
+		var seqBytes int
+		if cfg.Encoding == EncodeOnDevice {
+			seqBytes = cfg.ReadLen
+		} else {
+			seqBytes = bitvec.EncodedWords(cfg.ReadLen) * 4
+		}
+		var err error
+		if st.readBuf, err = dev.AllocUnified(sys.BatchPairs * seqBytes); err != nil {
+			return nil, fmt.Errorf("gkgpu: read buffer: %w", err)
+		}
+		if st.refBuf, err = dev.AllocUnified(sys.BatchPairs * seqBytes); err != nil {
+			return nil, fmt.Errorf("gkgpu: reference buffer: %w", err)
+		}
+		if st.flagBuf, err = dev.AllocUnified(sys.BatchPairs); err != nil {
+			return nil, fmt.Errorf("gkgpu: flag buffer: %w", err)
+		}
+		if st.resBuf, err = dev.AllocUnified(sys.BatchPairs * resultStride); err != nil {
+			return nil, fmt.Errorf("gkgpu: result buffer: %w", err)
+		}
+		// "The preferred location of the data is set to be the GPU device
+		// for the input buffers"; each buffer prefetches on its own stream.
+		st.readBuf.Advise(cuda.AdvisePreferredDevice)
+		st.refBuf.Advise(cuda.AdvisePreferredDevice)
+		st.flagBuf.Advise(cuda.AdvisePreferredDevice)
+		for i := 0; i < 3; i++ {
+			st.streams = append(st.streams, dev.NewStream())
+		}
+		workers := cuda.MaxWorkers(sys.BatchPairs)
+		mode := filter.ModeGPU
+		for w := 0; w < workers; w++ {
+			st.kernels = append(st.kernels, filter.NewKernel(mode, cfg.ReadLen, cfg.MaxE))
+			st.readWords = append(st.readWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
+			st.refWords = append(st.refWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
+		}
+		e.states = append(e.states, st)
+	}
+	return e, nil
+}
+
+// Close releases every unified-memory buffer.
+func (e *Engine) Close() {
+	e.clearReference()
+	for _, st := range e.states {
+		st.readBuf.Free()
+		st.refBuf.Free()
+		st.flagBuf.Free()
+		st.resBuf.Free()
+	}
+	e.states = nil
+}
+
+// Config returns the engine's (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SystemConfigs returns the per-device configuration results.
+func (e *Engine) SystemConfigs() []SystemConfig {
+	out := make([]SystemConfig, len(e.states))
+	for i, st := range e.states {
+		out[i] = st.sys
+	}
+	return out
+}
+
+// Stats returns the accumulated measurements.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats clears the accumulated measurements.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// FilterPairs filters every pair at threshold e, batching across the
+// context's devices exactly as Section 3.1 describes: each round hands every
+// device an equal batch ("In the multi-GPU model, the batch size is equal
+// for all devices to ensure a fair workload"). Results are returned in input
+// order.
+func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
+	if errThreshold < 0 || errThreshold > e.cfg.MaxE {
+		return nil, fmt.Errorf("gkgpu: threshold %d outside compiled [0,%d]", errThreshold, e.cfg.MaxE)
+	}
+	for i, p := range pairs {
+		if len(p.Read) != e.cfg.ReadLen || len(p.Ref) != e.cfg.ReadLen {
+			return nil, fmt.Errorf("gkgpu: pair %d has lengths %d/%d; engine compiled for %d",
+				i, len(p.Read), len(p.Ref), e.cfg.ReadLen)
+		}
+	}
+	results := make([]Result, len(pairs))
+	wallStart := time.Now()
+	nDev := len(e.states)
+	roundCap := 0
+	for _, st := range e.states {
+		roundCap += st.sys.BatchPairs
+	}
+
+	for off := 0; off < len(pairs); off += roundCap {
+		end := off + roundCap
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		round := pairs[off:end]
+		// Equal split across devices.
+		share := (len(round) + nDev - 1) / nDev
+		var wg sync.WaitGroup
+		errs := make([]error, nDev)
+		for di, st := range e.states {
+			lo := di * share
+			if lo >= len(round) {
+				break
+			}
+			hi := lo + share
+			if hi > len(round) {
+				hi = len(round)
+			}
+			wg.Add(1)
+			go func(di int, st *deviceState, chunk []Pair, out []Result) {
+				defer wg.Done()
+				errs[di] = e.runBatch(st, chunk, errThreshold, out)
+			}(di, st, round[lo:hi], results[off+lo:off+hi])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Model the round's timing: the kernel clock is the slowest device
+		// ("kernel time represents the time of the device which takes the
+		// longest"), here the full-share device.
+		w := cuda.Workload{
+			Pairs:         len(round),
+			ReadLen:       e.cfg.ReadLen,
+			E:             errThreshold,
+			DeviceEncoded: e.cfg.Encoding == EncodeOnDevice,
+		}
+		spec := e.states[0].dev.Spec
+		kt := e.cfg.Model.MultiGPUKernelSeconds(spec, w, nDev) + e.cfg.Model.PerLaunchSeconds
+		ft := e.cfg.Model.MultiGPUFilterSeconds(spec, w, nDev, e.cfg.Setup.HostFactor) +
+			e.cfg.Model.PerLaunchSeconds + e.cfg.Model.PerBatchHostSeconds
+		e.stats.KernelSeconds += kt
+		e.stats.FilterSeconds += ft
+		e.stats.HostPrepSeconds += e.cfg.Model.HostPrepSeconds(w, e.cfg.Setup.HostFactor) / float64(nDev)
+		e.stats.TransferSeconds += e.cfg.Model.TransferSeconds(spec, w) / float64(nDev)
+		e.stats.Batches++
+		util := e.cfg.Model.Utilization(spec, w)
+		for di, st := range e.states {
+			if di*share < len(round) {
+				st.dev.RecordKernel(kt, util)
+			}
+		}
+	}
+
+	for i := range results {
+		e.stats.Pairs++
+		switch {
+		case results[i].Undefined:
+			e.stats.Undefined++
+			e.stats.Accepted++
+		case results[i].Accept:
+			e.stats.Accepted++
+		default:
+			e.stats.Rejected++
+		}
+	}
+	e.stats.WallSeconds += time.Since(wallStart).Seconds()
+	e.stats.FaultMigrations = 0
+	e.stats.PrefetchMigration = 0
+	for _, st := range e.states {
+		f1, p1 := st.readBuf.MigrationStats()
+		f2, p2 := st.refBuf.MigrationStats()
+		e.stats.FaultMigrations += f1 + f2
+		e.stats.PrefetchMigration += p1 + p2
+	}
+	return results, nil
+}
+
+// runBatch executes one device's share of a round: fill unified buffers
+// (preprocessing), advise/prefetch, launch, and decode the result buffer.
+func (e *Engine) runBatch(st *deviceState, chunk []Pair, errThreshold int, out []Result) error {
+	n := len(chunk)
+	if n == 0 {
+		return nil
+	}
+	L := e.cfg.ReadLen
+	encWords := bitvec.EncodedWords(L)
+	flags := st.flagBuf.Bytes()
+
+	// Preprocessing: fill the unified buffers on the host.
+	if e.cfg.Encoding == EncodeOnDevice {
+		rb, fb := st.readBuf.Bytes(), st.refBuf.Bytes()
+		for i, p := range chunk {
+			copy(rb[i*L:], p.Read)
+			copy(fb[i*L:], p.Ref)
+			flags[i] = 0
+		}
+		st.readBuf.HostWrite(0, n*L)
+		st.refBuf.HostWrite(0, n*L)
+	} else {
+		rb, fb := st.readBuf.Bytes(), st.refBuf.Bytes()
+		words := make([]uint32, encWords)
+		encodeInto := func(dst []byte, seq []byte) bool {
+			if dna.HasN(seq) {
+				return false
+			}
+			if err := dna.EncodeInto(words, seq); err != nil {
+				return false
+			}
+			for w, v := range words {
+				binary.LittleEndian.PutUint32(dst[w*4:], v)
+			}
+			return true
+		}
+		for i, p := range chunk {
+			okR := encodeInto(rb[i*encWords*4:(i+1)*encWords*4], p.Read)
+			okF := encodeInto(fb[i*encWords*4:(i+1)*encWords*4], p.Ref)
+			if okR && okF {
+				flags[i] = 0
+			} else {
+				flags[i] = 1 // undefined: skip filtration in the kernel
+			}
+		}
+		st.readBuf.HostWrite(0, n*encWords*4)
+		st.refBuf.HostWrite(0, n*encWords*4)
+	}
+	st.flagBuf.HostWrite(0, n)
+
+	// Prefetch each input buffer on its own stream (no-ops on Kepler).
+	st.readBuf.PrefetchAsync(st.streams[0])
+	st.refBuf.PrefetchAsync(st.streams[1])
+	st.flagBuf.PrefetchAsync(st.streams[2])
+	if !st.dev.Spec.SupportsPrefetch() {
+		// On-demand migration when the kernel touches the buffers.
+		st.readBuf.DeviceTouch(0, st.readBuf.Len())
+		st.refBuf.DeviceTouch(0, st.refBuf.Len())
+	}
+
+	res := st.resBuf.Bytes()
+	lc := st.sys.Launch
+	if need := (n + lc.ThreadsPerBlock - 1) / lc.ThreadsPerBlock; need < lc.Blocks {
+		lc.Blocks = need // ragged final batch
+	}
+	err := st.dev.Launch(lc, n, func(worker, tid int) {
+		var r Result
+		if flags[tid] == 1 {
+			r = Result{Accept: true, Undefined: true}
+		} else if e.cfg.Encoding == EncodeOnDevice {
+			d, ferr := st.kernels[worker].FilterChecked(
+				st.readBuf.Bytes()[tid*L:(tid+1)*L],
+				st.refBuf.Bytes()[tid*L:(tid+1)*L],
+				errThreshold)
+			if ferr != nil {
+				r = Result{Accept: true} // defensive: pass to verification
+			} else {
+				r = Result{Accept: d.Accept, Undefined: d.Undefined, Estimate: uint16(d.Estimate)}
+			}
+		} else {
+			rw, fw := st.readWords[worker], st.refWords[worker]
+			rb := st.readBuf.Bytes()[tid*encWords*4:]
+			fb := st.refBuf.Bytes()[tid*encWords*4:]
+			for w := 0; w < encWords; w++ {
+				rw[w] = binary.LittleEndian.Uint32(rb[w*4:])
+				fw[w] = binary.LittleEndian.Uint32(fb[w*4:])
+			}
+			est, accept := st.kernels[worker].FilterEncoded(rw, fw, errThreshold)
+			r = Result{Accept: accept, Estimate: uint16(est)}
+		}
+		base := tid * resultStride
+		if r.Accept {
+			res[base] = 1
+		} else {
+			res[base] = 0
+		}
+		if r.Undefined {
+			res[base+1] = 1
+		} else {
+			res[base+1] = 0
+		}
+		binary.LittleEndian.PutUint16(res[base+2:], r.Estimate)
+	})
+	if err != nil {
+		return err
+	}
+
+	// The host reads results back through the shared pointer — the batch's
+	// only synchronization point (Section 3.5).
+	st.resBuf.HostWrite(0, n*resultStride)
+	for i := range out {
+		base := i * resultStride
+		out[i] = Result{
+			Accept:    res[base] == 1,
+			Undefined: res[base+1] == 1,
+			Estimate:  binary.LittleEndian.Uint16(res[base+2:]),
+		}
+	}
+	return nil
+}

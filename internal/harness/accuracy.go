@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/simdata"
+)
+
+// paperFARates holds the paper's GateKeeper-GPU false-accept rates (percent,
+// Tables S.2-S.6) per threshold grid for the Section 5.1.1 experiments.
+var paperFARates = map[string][]float64{
+	"set3":     {0.00, 0.09, 0.45, 1.41, 3.93, 8.53, 18.44, 28.98, 39.31, 47.26, 54.39},
+	"set6":     {0.00, 0.09, 1.14, 2.60, 9.31, 15.98, 39.60, 50.57, 64.73, 68.72, 75.48},
+	"set10":    {0.00, 0.04, 0.30, 0.91, 3.39, 9.63, 28.87, 42.19, 58.40, 70.91, 88.19},
+	"minimap2": {0.00, 0.21, 0.57, 1.39, 3.05, 6.01, 10.65, 16.59, 24.13, 32.03, 40.88},
+	"bwamem":   {0.00, 1.97, 23.86, 38.41, 54.22, 78.05, 90.35, 97.24, 99.28, 100.00, 100.00},
+}
+
+func init() {
+	type accuracyCase struct {
+		id, ref, title, set string
+	}
+	for _, c := range []accuracyCase{
+		{"fig4", "Figure 4 / Sup. Table S.2", "False accept analysis vs Edlib, 100bp (Set 3)", "set3"},
+		{"fig4-150", "Sup. Figure S.3 / Table S.3", "False accept analysis vs Edlib, 150bp (Set 6)", "set6"},
+		{"fig4-250", "Sup. Figure S.4 / Table S.4", "False accept analysis vs Edlib, 250bp (Set 10)", "set10"},
+		{"fig-mm2", "Sup. Figure S.5 / Table S.5", "Accuracy on Minimap2-style candidate pairs", "minimap2"},
+		{"fig-bwa", "Sup. Figure S.6 / Table S.6", "Accuracy on BWA-MEM-style candidate pairs", "bwamem"},
+	} {
+		c := c
+		register(Experiment{
+			ID:       c.id,
+			PaperRef: c.ref,
+			Title:    c.title,
+			Run:      func(o Options) error { return runEdlibAccuracy(o, c.set) },
+		})
+	}
+}
+
+// runEdlibAccuracy reproduces the Section 5.1.1 protocol: undefined pairs
+// are excluded (counted as accepted on both sides), GateKeeper-GPU decisions
+// are tallied against Edlib global alignment across the threshold grid.
+func runEdlibAccuracy(o Options, setName string) error {
+	profile, err := simdata.Set(setName)
+	if err != nil {
+		return err
+	}
+	n := o.scaled(20_000)
+	cases := simdata.Generate(profile, o.Seed, n)
+	thresholds := thresholdsFor(profile.ReadLen)
+	maxE := thresholds[len(thresholds)-1]
+	kern := filter.NewKernel(filter.ModeGPU, profile.ReadLen, maxE)
+
+	// Ground-truth distances once per pair.
+	dists := make([]int, len(cases))
+	undef := 0
+	for i, pc := range cases {
+		if pc.Undefined {
+			dists[i] = -1 // excluded per protocol
+			undef++
+			continue
+		}
+		dists[i] = align.Distance(pc.Read, pc.Ref)
+	}
+	fmt.Fprintf(o.Out, "%s: %d pairs (%d undefined excluded; paper set: %s pairs)\n\n",
+		profile.Name, n, undef, metrics.FmtInt(int64(profile.PaperPairs)))
+
+	tb := metrics.NewTable("e", "Edlib rejects", "False accepts", "False rejects",
+		"FA rate", "TR rate", "paper FA rate")
+	paper := paperFARates[setName]
+	for ti, e := range thresholds {
+		var c metrics.Confusion
+		for i, pc := range cases {
+			if dists[i] < 0 {
+				continue
+			}
+			d := kern.Filter(pc.Read, pc.Ref, e)
+			c.Add(metrics.Outcome{TrueWithin: dists[i] <= e, Accept: d.Accept})
+		}
+		if c.FalseRejects != 0 {
+			return fmt.Errorf("accuracy violation: %d false rejects at e=%d (paper: always 0)",
+				c.FalseRejects, e)
+		}
+		ref := "-"
+		if ti < len(paper) {
+			ref = fmt.Sprintf("%.2f%%", paper[ti])
+		}
+		tb.Add(fmt.Sprintf("%d", e),
+			metrics.FmtInt(c.EdlibRejects),
+			metrics.FmtInt(c.FalseAccepts),
+			metrics.FmtInt(c.FalseRejects),
+			metrics.FmtPct(c.FalseAcceptRate()),
+			metrics.FmtPct(c.TrueRejectRate()),
+			ref)
+	}
+	fmt.Fprint(o.Out, tb.String())
+	fmt.Fprintln(o.Out, "\nShape checks: zero false rejects at every threshold; FA rate rises with e.")
+	return nil
+}
+
+// comparisonRef holds the paper's per-filter false-accept counts (including
+// undefined pairs) for the Section 5.1.2 comparison sets, out of the paper's
+// 30M pairs (Sup. Tables S.7-S.12).
+type comparisonRef struct {
+	gkgpu, fpga, shouji, magnet, snake []int64 // snake nil when not reported
+}
+
+var paperComparisons = map[string]comparisonRef{
+	"set1": {
+		gkgpu:  []int64{28009, 672164, 2290693, 4324420, 6744070, 9354269, 12092022, 13085652, 13139626, 12264194, 10929703},
+		fpga:   []int64{0, 783185, 2704128, 5237529, 8231507, 11195124, 13781651, 14283519, 13814295, 13105305, 11389103},
+		shouji: []int64{0, 333320, 1283004, 2674876, 4399886, 6452280, 9373309, 11113616, 11990529, 11693396, 10664722},
+		magnet: []int64{963941, 800099, 1876518, 2428301, 2662902, 2916838, 3406303, 4026433, 4745672, 5319627, 5673172},
+		snake:  []int64{0, 12473, 77165, 234003, 484179, 795582, 1240276, 1815478, 2567290, 3331944, 4020164},
+	},
+	"set4": {
+		gkgpu:  []int64{31487, 31501, 31767, 32689, 40692, 71158, 193539, 435611, 951114, 1943019, 3710604},
+		fpga:   []int64{0, 14, 155, 1196, 7436, 32792, 155134, 417444, 1031480, 29997022, 29998373},
+		shouji: []int64{0, 2, 15, 216, 1986, 10551, 57258, 214005, 675029, 1742476, 3902535},
+		magnet: []int64{7, 5, 2, 4, 13, 82, 298, 1030, 3129, 8234, 19013},
+		snake:  []int64{0, 0, 0, 1, 3, 13, 69, 289, 1081, 3563, 9698},
+	},
+	"set5": {
+		gkgpu:  []int64{30142, 171256, 1632544, 3118355, 6681929, 9016979, 15109160, 17023658, 18335496, 18145432, 16953324},
+		fpga:   []int64{0, 173573, 2080279, 4023762, 9258602, 12481853, 22076837, 21341979, 19868151, 19082528, 17353835},
+		shouji: []int64{0, 113519, 1539365, 3042831, 6025592, 8219336, 14568337, 16920389, 18270597, 18095207, 16993568},
+		magnet: []int64{428412, 156891, 725873, 1064344, 1430272, 1532024, 1874734, 2194275, 3294672, 4066617, 5810797},
+	},
+	"set8": {
+		gkgpu:  []int64{309, 365, 407, 573, 13606, 64840, 564241, 1049599, 2490712, 3677914, 7692574},
+		fpga:   []int64{0, 58, 90, 267, 18110, 79418, 29698666, 29999388, 29999290, 29999204, 29998847},
+		shouji: []int64{0, 43, 83, 137, 6259, 27092, 404742, 935486, 2514950, 3693298, 8034737},
+		magnet: []int64{126, 42, 35, 28, 25, 27, 108, 231, 965, 2018, 8448},
+	},
+	"set9": {
+		gkgpu:  []int64{35075, 250322, 1242873, 3113200, 7283863, 12260108, 19039913, 21308177, 22311079, 22311569, 21843548},
+		fpga:   []int64{0, 238368, 1546126, 3933916, 26816729, 26137224, 25084654, 24449131, 23595168, 23040384, 22142250},
+		shouji: []int64{0, 174366, 1071218, 2775419, 6669084, 11147373, 18406823, 20971826, 22223170, 22271215, 21849454},
+		magnet: []int64{479104, 143066, 226864, 347819, 624927, 825468, 1066633, 1235999, 1695351, 2241984, 3514515},
+		snake:  []int64{0, 12319, 38814, 79246, 235689, 407799, 705904, 914730, 1364891, 1879428, 3134474},
+	},
+	"set12": {
+		gkgpu:  []int64{4763683, 4763696, 4763688, 4763704, 4771455, 4839211, 5481110, 6545084, 9894411, 14252812, 21963183},
+		fpga:   []int64{0, 71, 249, 698, 29999528, 29999480, 29999425, 29999377, 29999282, 29999158, 29998867},
+		shouji: []int64{0, 55, 161, 212, 5627, 64225, 775314, 2052498, 5679869, 10277297, 19676652},
+		magnet: []int64{53, 44, 49, 48, 42, 45, 82, 175, 417, 593, 1174},
+		snake:  []int64{0, 2, 6, 6, 14, 22, 47, 106, 326, 495, 955},
+	},
+}
+
+func init() {
+	type cmpCase struct {
+		id, ref, title, set string
+	}
+	for _, c := range []cmpCase{
+		{"fig5", "Figure 5 / Sup. Table S.7", "Filter comparison, Set 1 (100bp low-edit)", "set1"},
+		{"fig5-he100", "Sup. Figure S.7 / Table S.8", "Filter comparison, Set 4 (100bp high-edit)", "set4"},
+		{"fig5-le150", "Sup. Figure S.8 / Table S.9", "Filter comparison, Set 5 (150bp low-edit)", "set5"},
+		{"fig5-he150", "Sup. Figure S.9 / Table S.10", "Filter comparison, Set 8 (150bp high-edit)", "set8"},
+		{"fig5-le250", "Sup. Figure S.10 / Table S.11", "Filter comparison, Set 9 (250bp low-edit)", "set9"},
+		{"fig5-he250", "Sup. Figure S.11 / Table S.12", "Filter comparison, Set 12 (250bp high-edit)", "set12"},
+	} {
+		c := c
+		register(Experiment{
+			ID:       c.id,
+			PaperRef: c.ref,
+			Title:    c.title,
+			Run:      func(o Options) error { return runComparison(o, c.set) },
+		})
+	}
+}
+
+// runComparison reproduces the Section 5.1.2 protocol: all six filters on
+// one dataset, undefined pairs included (GateKeeper-GPU passes them, so they
+// surface in its false accepts), false-accept fractions compared with the
+// paper's counts per 30M pairs.
+func runComparison(o Options, setName string) error {
+	profile, err := simdata.Set(setName)
+	if err != nil {
+		return err
+	}
+	n := o.scaled(1_200)
+	cases := simdata.Generate(profile, o.Seed, n)
+	thresholds := thresholdsFor(profile.ReadLen)
+	filters := filter.All()
+	ref := paperComparisons[setName]
+
+	dists := make([]int, len(cases))
+	for i, pc := range cases {
+		dists[i] = align.Distance(pc.Read, pc.Ref)
+	}
+	fmt.Fprintf(o.Out, "%s: %d pairs, undefined included (paper protocol)\n", profile.Name, n)
+	fmt.Fprintf(o.Out, "measured: FA%% of pairs; paper: FA%% of %s pairs\n\n",
+		metrics.FmtInt(int64(profile.PaperPairs)))
+
+	tb := metrics.NewTable("e",
+		"GKGPU", "FPGA", "SHD", "Shouji", "MAGNET", "SnkSnake",
+		"paper GKGPU", "paper FPGA", "paper Shouji", "paper MAGNET", "paper Snake")
+	for ti, e := range thresholds {
+		row := []string{fmt.Sprintf("%d", e)}
+		for _, f := range filters {
+			fa := 0
+			for i, pc := range cases {
+				if dists[i] <= e {
+					continue // only Edlib-rejected pairs can be false accepts
+				}
+				if f.Filter(pc.Read, pc.Ref, e).Accept {
+					fa++
+				}
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", 100*float64(fa)/float64(n)))
+		}
+		paperPct := func(vals []int64) string {
+			if vals == nil || ti >= len(vals) {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f%%", 100*float64(vals[ti])/float64(profile.PaperPairs))
+		}
+		row = append(row, paperPct(ref.gkgpu), paperPct(ref.fpga), paperPct(ref.shouji),
+			paperPct(ref.magnet), paperPct(ref.snake))
+		tb.Add(row...)
+	}
+	fmt.Fprint(o.Out, tb.String())
+	fmt.Fprintln(o.Out, "\nShape checks: GKGPU <= FPGA == SHD; SneakySnake & MAGNET lowest;")
+	fmt.Fprintln(o.Out, "FPGA/SHD saturate toward accept-all at high e on high-edit sets while GKGPU keeps filtering.")
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package mapper implements a seed-and-extend short read mapper in the
+// mould of mrFAST (Alkan et al. 2009), the tool the paper integrates
+// GateKeeper-GPU into: a k-mer hash index over the reference, pigeonhole
+// seeding (e+1 non-overlapping seeds, so any alignment with at most e edits
+// preserves one seed exactly), candidate extension, optional pre-alignment
+// filtering between seeding and verification, and banded dynamic-programming
+// verification — the expensive stage the filter protects.
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+)
+
+// Index is a k-mer hash index over a reference sequence. Every position of
+// the reference whose k-window is fully defined (no 'N') is indexed.
+type Index struct {
+	ref  []byte
+	k    int
+	hash map[uint32][]int32
+}
+
+// DefaultSeedLen is the default k-mer length, in mrFAST's 12-14 range.
+const DefaultSeedLen = 13
+
+// NewIndex builds the index. k must be in [8, 16] so a seed packs into one
+// 32-bit word.
+func NewIndex(ref []byte, k int) (*Index, error) {
+	if k < 8 || k > 16 {
+		return nil, fmt.Errorf("mapper: seed length %d outside [8,16]", k)
+	}
+	if len(ref) < k {
+		return nil, fmt.Errorf("mapper: reference (%d) shorter than seed (%d)", len(ref), k)
+	}
+	idx := &Index{ref: ref, k: k, hash: make(map[uint32][]int32, len(ref))}
+	var key uint32
+	mask := uint32(1)<<(2*k) - 1
+	valid := 0 // defined bases in the current window
+	for i, b := range ref {
+		code, ok := dna.Code(b)
+		if !ok {
+			valid = 0
+			key = 0
+			continue
+		}
+		key = (key<<2 | uint32(code)) & mask
+		valid++
+		if valid >= k {
+			pos := int32(i - k + 1)
+			idx.hash[key] = append(idx.hash[key], pos)
+		}
+	}
+	return idx, nil
+}
+
+// K returns the seed length.
+func (x *Index) K() int { return x.k }
+
+// Ref returns the indexed reference.
+func (x *Index) Ref() []byte { return x.ref }
+
+// Lookup returns the reference positions whose k-window equals seed, or nil
+// when the seed contains an undefined base or has no hits.
+func (x *Index) Lookup(seed []byte) []int32 {
+	if len(seed) != x.k {
+		return nil
+	}
+	var key uint32
+	for _, b := range seed {
+		code, ok := dna.Code(b)
+		if !ok {
+			return nil
+		}
+		key = key<<2 | uint32(code)
+	}
+	return x.hash[key]
+}
+
+// DistinctKmers returns the number of distinct indexed k-mers (diagnostics).
+func (x *Index) DistinctKmers() int { return len(x.hash) }

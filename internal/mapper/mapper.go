@@ -1,0 +1,329 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+	"repro/internal/gkgpu"
+)
+
+// PreFilter is the pre-alignment filtering hook between seeding and
+// verification. Both gkgpu.Engine (the GPU path) and gkgpu.CPUEngine satisfy
+// it; a nil PreFilter reproduces the paper's "No Filter" rows.
+type PreFilter interface {
+	FilterPairs(pairs []gkgpu.Pair, errThreshold int) ([]gkgpu.Result, error)
+}
+
+// CandidateFilter extends PreFilter with the paper's actual mrFAST
+// integration (Section 3.5): the encoded reference lives in unified memory
+// and candidates are named by (read, location) indices, so each read is
+// copied to the device once and the kernel extracts reference segments
+// itself. gkgpu.Engine implements it; the mapper uses this path whenever
+// available.
+type CandidateFilter interface {
+	PreFilter
+	SetReference(seq []byte) error
+	FilterCandidates(reads [][]byte, cands []gkgpu.Candidate, errThreshold int) ([]gkgpu.Result, error)
+}
+
+// Config parametrizes a mapping run.
+type Config struct {
+	ReadLen int
+	MaxE    int
+	SeedLen int // defaults to DefaultSeedLen
+	// MaxReadsPerBatch is the number of reads whose candidates are batched
+	// into one filtering round (Table 1; the paper finds 100,000 best).
+	MaxReadsPerBatch int
+	Filter           PreFilter
+	// Traceback makes verification produce CIGAR strings for SAM output at
+	// the cost of materializing the DP band.
+	Traceback bool
+	// BothStrands also maps the reverse complement of every read, as real
+	// short read mappers do; reverse-strand mappings carry Reverse=true.
+	BothStrands bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.SeedLen == 0 {
+		c.SeedLen = DefaultSeedLen
+	}
+	if c.MaxReadsPerBatch == 0 {
+		c.MaxReadsPerBatch = 100_000
+	}
+}
+
+// Mapping is one reported alignment.
+type Mapping struct {
+	ReadID   int
+	Pos      int    // reference offset of the candidate window
+	Distance int    // verified edit distance
+	CIGAR    string // populated when Config.Traceback is set
+	Reverse  bool   // mapping of the read's reverse complement
+}
+
+// Stats carries the whole-genome evaluation metrics of Section 4.5: "the
+// number of mappings, the number of mapped reads, the total number of
+// candidate mappings, the total number of candidate mappings that enter
+// verification, time spent for verification, time spent for preprocessing
+// before pre-alignment filtering, and total kernel time".
+type Stats struct {
+	Reads              int64
+	CandidatePairs     int64 // candidate mappings found by seeding
+	VerificationPairs  int64 // candidates that enter verification
+	RejectedPairs      int64 // candidates removed by the filter
+	UndefinedPairs     int64 // candidates passed through for 'N'
+	Mappings           int64
+	MappedReads        int64
+	SeedSeconds        float64 // wall: seeding + candidate collection
+	PreprocessSeconds  float64 // wall: batching/buffer preparation
+	FilterWallSeconds  float64 // wall: pre-alignment filtering
+	FilterKernelModel  float64 // modelled device kernel seconds
+	FilterModelSeconds float64 // modelled end-to-end filter seconds
+	FilterPrepModel    float64 // modelled host encode/fill seconds
+	VerifySeconds      float64 // wall: banded-DP verification
+	TotalSeconds       float64
+}
+
+// Reduction returns the fraction of candidate mappings the filter removed —
+// the headline quantity of Tables 3 and S.24-S.26.
+func (s Stats) Reduction() float64 {
+	if s.CandidatePairs == 0 {
+		return 0
+	}
+	return float64(s.RejectedPairs) / float64(s.CandidatePairs)
+}
+
+// Mapper maps fixed-length reads against an indexed reference.
+type Mapper struct {
+	cfg        Config
+	idx        *Index
+	candFilter CandidateFilter // non-nil when cfg.Filter supports the index path
+}
+
+// New builds a mapper over the reference.
+func New(ref []byte, cfg Config) (*Mapper, error) {
+	cfg.applyDefaults()
+	if cfg.ReadLen <= 0 {
+		return nil, fmt.Errorf("mapper: read length %d", cfg.ReadLen)
+	}
+	if cfg.MaxE < 0 || cfg.MaxE >= cfg.ReadLen {
+		return nil, fmt.Errorf("mapper: error threshold %d outside [0,%d)", cfg.MaxE, cfg.ReadLen)
+	}
+	if cfg.SeedLen > cfg.ReadLen {
+		return nil, fmt.Errorf("mapper: seed length %d exceeds read length %d", cfg.SeedLen, cfg.ReadLen)
+	}
+	idx, err := NewIndex(ref, cfg.SeedLen)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapper{cfg: cfg, idx: idx}
+	if cf, ok := cfg.Filter.(CandidateFilter); ok {
+		if err := cf.SetReference(ref); err != nil {
+			return nil, fmt.Errorf("mapper: loading reference into filter: %w", err)
+		}
+		m.candFilter = cf
+	}
+	return m, nil
+}
+
+// Index exposes the underlying k-mer index.
+func (m *Mapper) Index() *Index { return m.idx }
+
+// candidates runs pigeonhole seeding for one read: e+1 seeds at evenly
+// spread offsets; each hit proposes the window that would place the read at
+// that seed offset. Duplicates are merged.
+func (m *Mapper) candidates(read []byte, e int) []int32 {
+	L := m.cfg.ReadLen
+	k := m.idx.k
+	nSeeds := e + 1
+	if maxSeeds := L / k; nSeeds > maxSeeds {
+		nSeeds = maxSeeds
+	}
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	var out []int32
+	for s := 0; s < nSeeds; s++ {
+		var off int
+		if nSeeds == 1 {
+			off = 0
+		} else {
+			off = s * (L - k) / (nSeeds - 1)
+		}
+		for _, hit := range m.idx.Lookup(read[off : off+k]) {
+			pos := hit - int32(off)
+			if pos < 0 || int(pos)+L > len(m.idx.ref) {
+				continue
+			}
+			out = append(out, pos)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:1]
+	for _, p := range out[1:] {
+		if p != dedup[len(dedup)-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// MapReads maps every read at threshold e, batching candidates through the
+// configured pre-alignment filter (when present) before verification, and
+// returns the mappings in (read, position) order together with the run's
+// statistics.
+func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
+	if e > m.cfg.MaxE {
+		return nil, Stats{}, fmt.Errorf("mapper: threshold %d exceeds configured %d", e, m.cfg.MaxE)
+	}
+	for i, r := range reads {
+		if len(r) != m.cfg.ReadLen {
+			return nil, Stats{}, fmt.Errorf("mapper: read %d has length %d, mapper built for %d",
+				i, len(r), m.cfg.ReadLen)
+		}
+	}
+	var st Stats
+	var mappings []Mapping
+	totalStart := time.Now()
+	L := m.cfg.ReadLen
+	ref := m.idx.ref
+
+	for lo := 0; lo < len(reads); lo += m.cfg.MaxReadsPerBatch {
+		hi := lo + m.cfg.MaxReadsPerBatch
+		if hi > len(reads) {
+			hi = len(reads)
+		}
+		// The batch's query sequences: each read, plus its reverse
+		// complement when both-strand mapping is on.
+		type query struct {
+			readID  int
+			reverse bool
+		}
+		var batch [][]byte
+		var queries []query
+		for ri, read := range reads[lo:hi] {
+			batch = append(batch, read)
+			queries = append(queries, query{readID: lo + ri})
+			if m.cfg.BothStrands {
+				batch = append(batch, dna.ReverseComplement(read))
+				queries = append(queries, query{readID: lo + ri, reverse: true})
+			}
+		}
+
+		// Seeding: collect candidate locations for the whole batch.
+		seedStart := time.Now()
+		type cand struct {
+			query int // index into batch/queries
+			pos   int32
+		}
+		var cands []cand
+		for qi, seq := range batch {
+			for _, pos := range m.candidates(seq, e) {
+				cands = append(cands, cand{query: qi, pos: pos})
+			}
+		}
+		st.SeedSeconds += time.Since(seedStart).Seconds()
+		st.CandidatePairs += int64(len(cands))
+		if len(cands) == 0 {
+			continue
+		}
+
+		// Preprocessing: fill the filtering buffers ("we fill the buffers
+		// with multiple reads and their candidate location indices").
+		prepStart := time.Now()
+		pairs := make([]gkgpu.Pair, len(cands))
+		for i, c := range cands {
+			pairs[i] = gkgpu.Pair{
+				Read: batch[c.query],
+				Ref:  ref[c.pos : int(c.pos)+L],
+			}
+		}
+		st.PreprocessSeconds += time.Since(prepStart).Seconds()
+
+		// Pre-alignment filtering: index-named when supported, otherwise
+		// over materialized pairs.
+		verdicts := make([]gkgpu.Result, len(pairs))
+		if m.candFilter != nil {
+			filtStart := time.Now()
+			gcands := make([]gkgpu.Candidate, len(cands))
+			for i, c := range cands {
+				gcands[i] = gkgpu.Candidate{ReadID: int32(c.query), Pos: c.pos}
+			}
+			res, err := m.candFilter.FilterCandidates(batch, gcands, e)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("mapper: pre-alignment filter: %w", err)
+			}
+			copy(verdicts, res)
+			st.FilterWallSeconds += time.Since(filtStart).Seconds()
+		} else if m.cfg.Filter != nil {
+			filtStart := time.Now()
+			res, err := m.cfg.Filter.FilterPairs(pairs, e)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("mapper: pre-alignment filter: %w", err)
+			}
+			copy(verdicts, res)
+			st.FilterWallSeconds += time.Since(filtStart).Seconds()
+		} else {
+			for i := range verdicts {
+				verdicts[i].Accept = true
+			}
+		}
+
+		// Verification: banded edit distance for surviving pairs.
+		verifyStart := time.Now()
+		for i, c := range cands {
+			if !verdicts[i].Accept {
+				st.RejectedPairs++
+				continue
+			}
+			if verdicts[i].Undefined {
+				st.UndefinedPairs++
+			}
+			st.VerificationPairs++
+			q := queries[c.query]
+			if m.cfg.Traceback {
+				if al, ok := align.Align(pairs[i].Read, pairs[i].Ref, e); ok {
+					mappings = append(mappings, Mapping{ReadID: q.readID, Pos: int(c.pos),
+						Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: q.reverse})
+				}
+			} else if d, ok := align.DistanceBanded(pairs[i].Read, pairs[i].Ref, e); ok {
+				mappings = append(mappings, Mapping{ReadID: q.readID, Pos: int(c.pos),
+					Distance: d, Reverse: q.reverse})
+			}
+		}
+		st.VerifySeconds += time.Since(verifyStart).Seconds()
+	}
+
+	// Recompute aggregate counters from the mapping list (cheap and exact).
+	st.Mappings = int64(len(mappings))
+	mapped := make(map[int]bool, len(reads))
+	for _, m := range mappings {
+		mapped[m.ReadID] = true
+	}
+	st.MappedReads = int64(len(mapped))
+	st.Reads = int64(len(reads))
+	if eng, ok := m.cfg.Filter.(*gkgpu.Engine); ok {
+		st.FilterKernelModel = eng.Stats().KernelSeconds
+		st.FilterModelSeconds = eng.Stats().FilterSeconds
+		st.FilterPrepModel = eng.Stats().HostPrepSeconds
+	}
+	if eng, ok := m.cfg.Filter.(*gkgpu.CPUEngine); ok {
+		st.FilterKernelModel = eng.Stats().KernelSeconds
+		st.FilterModelSeconds = eng.Stats().FilterSeconds
+	}
+	st.TotalSeconds = time.Since(totalStart).Seconds()
+
+	sort.Slice(mappings, func(i, j int) bool {
+		if mappings[i].ReadID != mappings[j].ReadID {
+			return mappings[i].ReadID < mappings[j].ReadID
+		}
+		return mappings[i].Pos < mappings[j].Pos
+	})
+	return mappings, st, nil
+}

@@ -1,0 +1,40 @@
+package mapper
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/dna"
+)
+
+// WriteSAM emits mappings as minimal single-reference SAM records (header,
+// one line per mapping, NM tag carrying the verified edit distance), enough
+// for downstream tooling to consume the reproduction's output.
+func WriteSAM(w io.Writer, refName string, refLen int, reads [][]byte, mappings []Mapping) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "@HD\tVN:1.6\tSO:unsorted\n@SQ\tSN:%s\tLN:%d\n@PG\tID:gatekeeper-gpu-repro\tPN:gkmap\n",
+		refName, refLen); err != nil {
+		return err
+	}
+	for _, m := range mappings {
+		if m.ReadID < 0 || m.ReadID >= len(reads) {
+			return fmt.Errorf("mapper: mapping references read %d of %d", m.ReadID, len(reads))
+		}
+		read := reads[m.ReadID]
+		flag := 0
+		if m.Reverse {
+			flag = 16 // SAM reverse-strand flag; SEQ is the aligned orientation
+			read = dna.ReverseComplement(read)
+		}
+		cigar := m.CIGAR
+		if cigar == "" {
+			cigar = fmt.Sprintf("%dM", len(read))
+		}
+		if _, err := fmt.Fprintf(bw, "read%d\t%d\t%s\t%d\t255\t%s\t*\t0\t0\t%s\t*\tNM:i:%d\n",
+			m.ReadID, flag, refName, m.Pos+1, cigar, read, m.Distance); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

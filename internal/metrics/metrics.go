@@ -1,0 +1,199 @@
+// Package metrics implements the paper's evaluation arithmetic: the
+// false-accept / false-reject / true-reject accounting of Section 4.4
+// (against Edlib ground truth) and the filtering-throughput conversions of
+// Section 4.3 ("the total number of pairs that can be filtered in 40
+// minutes"), plus a small fixed-width table renderer for the harness.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Outcome couples a pair's exact edit distance with a filter's decision.
+// For undefined pairs the paper's first accuracy protocol treats both Edlib
+// and the filter as accepting; callers encode that by setting Accept=true
+// and TrueWithin=true.
+type Outcome struct {
+	TrueWithin bool // Edlib distance <= threshold (ground-truth accept)
+	Accept     bool // filter decision
+}
+
+// Confusion is the tally of Section 4.4: "a false accept represents a pair
+// that Edlib rejects ... but is accepted by the filter. On the contrary, a
+// false reject case is a valid pair ... rejected by the filter. True rejects
+// are the pairs that are rejected by both."
+type Confusion struct {
+	Pairs         int64
+	EdlibAccepts  int64
+	EdlibRejects  int64
+	FilterAccepts int64
+	FilterRejects int64
+	FalseAccepts  int64
+	FalseRejects  int64
+	TrueRejects   int64
+}
+
+// Tally folds outcomes into a confusion tally.
+func Tally(outcomes []Outcome) Confusion {
+	var c Confusion
+	for _, o := range outcomes {
+		c.Add(o)
+	}
+	return c
+}
+
+// Add folds one outcome into the tally.
+func (c *Confusion) Add(o Outcome) {
+	c.Pairs++
+	if o.TrueWithin {
+		c.EdlibAccepts++
+	} else {
+		c.EdlibRejects++
+	}
+	if o.Accept {
+		c.FilterAccepts++
+	} else {
+		c.FilterRejects++
+	}
+	switch {
+	case o.Accept && !o.TrueWithin:
+		c.FalseAccepts++
+	case !o.Accept && o.TrueWithin:
+		c.FalseRejects++
+	case !o.Accept && !o.TrueWithin:
+		c.TrueRejects++
+	}
+}
+
+// FalseAcceptRate is "the percentage of the number of falsely accepted
+// pairs by the filter over the number of rejected pairs by Edlib".
+func (c Confusion) FalseAcceptRate() float64 {
+	if c.EdlibRejects == 0 {
+		return 0
+	}
+	return float64(c.FalseAccepts) / float64(c.EdlibRejects)
+}
+
+// TrueRejectRate is "the percentage of the number of correctly rejected
+// pairs over the total number of rejected pairs by Edlib".
+func (c Confusion) TrueRejectRate() float64 {
+	if c.EdlibRejects == 0 {
+		return 0
+	}
+	return float64(c.TrueRejects) / float64(c.EdlibRejects)
+}
+
+// Throughput conversions -----------------------------------------------
+
+// fortyMinutes is the paper's throughput window, in seconds.
+const fortyMinutes = 40 * 60
+
+// PairsPer40MinBillions converts a measured rate into the paper's headline
+// unit: billions of filtrations in 40 minutes.
+func PairsPer40MinBillions(pairs int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(pairs) / seconds * fortyMinutes / 1e9
+}
+
+// MillionPairsPerSecond converts a measurement to the figures' unit.
+func MillionPairsPerSecond(pairs int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(pairs) / seconds / 1e6
+}
+
+// Speedup returns base/improved, guarding zero.
+func Speedup(baseSeconds, improvedSeconds float64) float64 {
+	if improvedSeconds <= 0 {
+		return 0
+	}
+	return baseSeconds / improvedSeconds
+}
+
+// Formatting helpers -----------------------------------------------------
+
+// FmtInt renders an integer with thousands separators, as the paper's
+// tables do (e.g. 29,895,597).
+func FmtInt(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var sb strings.Builder
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteRune(c)
+	}
+	if neg {
+		return "-" + sb.String()
+	}
+	return sb.String()
+}
+
+// FmtPct renders a ratio as a percentage with two decimals.
+func FmtPct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// Table is a minimal fixed-width table renderer for harness output.
+type Table struct {
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return &Table{Headers: headers} }
+
+// Add appends a row; short rows are padded with empty cells.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends a row of formatted values.
+func (t *Table) AddF(format string, args ...any) {
+	t.Add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTally(t *testing.T) {
+	outcomes := []Outcome{
+		{TrueWithin: true, Accept: true},   // true accept
+		{TrueWithin: false, Accept: true},  // false accept
+		{TrueWithin: true, Accept: false},  // false reject
+		{TrueWithin: false, Accept: false}, // true reject
+		{TrueWithin: false, Accept: false}, // true reject
+	}
+	c := Tally(outcomes)
+	if c.Pairs != 5 || c.EdlibAccepts != 2 || c.EdlibRejects != 3 {
+		t.Fatalf("ground-truth counts wrong: %+v", c)
+	}
+	if c.FilterAccepts != 2 || c.FilterRejects != 3 {
+		t.Fatalf("filter counts wrong: %+v", c)
+	}
+	if c.FalseAccepts != 1 || c.FalseRejects != 1 || c.TrueRejects != 2 {
+		t.Fatalf("confusion wrong: %+v", c)
+	}
+	if got := c.FalseAcceptRate(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("FalseAcceptRate = %v", got)
+	}
+	if got := c.TrueRejectRate(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("TrueRejectRate = %v", got)
+	}
+}
+
+func TestConfusionInvariantsQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		var c Confusion
+		for _, b := range raw {
+			c.Add(Outcome{TrueWithin: b&1 == 1, Accept: b&2 == 2})
+		}
+		if c.EdlibAccepts+c.EdlibRejects != c.Pairs {
+			return false
+		}
+		if c.FilterAccepts+c.FilterRejects != c.Pairs {
+			return false
+		}
+		// FA + TR = Edlib rejects; FR + true accepts = Edlib accepts.
+		if c.FalseAccepts+c.TrueRejects != c.EdlibRejects {
+			return false
+		}
+		return c.FalseAcceptRate() >= 0 && c.FalseAcceptRate() <= 1 &&
+			c.TrueRejectRate() >= 0 && c.TrueRejectRate() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyConfusionRates(t *testing.T) {
+	var c Confusion
+	if c.FalseAcceptRate() != 0 || c.TrueRejectRate() != 0 {
+		t.Fatal("empty tally should have zero rates")
+	}
+}
+
+func TestThroughputConversions(t *testing.T) {
+	// 30M pairs in 0.29s -> 103.4M pairs/s -> 248 billion per 40 min
+	// (Table S.13's 244.8 band).
+	b := PairsPer40MinBillions(30_000_000, 0.29)
+	if b < 200 || b < 240 || b > 260 {
+		t.Fatalf("PairsPer40MinBillions = %.1f, want ~248", b)
+	}
+	m := MillionPairsPerSecond(30_000_000, 0.29)
+	if m < 100 || m > 107 {
+		t.Fatalf("MillionPairsPerSecond = %.1f, want ~103.4", m)
+	}
+	if PairsPer40MinBillions(10, 0) != 0 || MillionPairsPerSecond(10, -1) != 0 {
+		t.Fatal("degenerate durations must yield zero")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 5) != 2 {
+		t.Fatal("Speedup(10,5) != 2")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Fatal("zero denominator not guarded")
+	}
+}
+
+func TestFmtInt(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		5:          "5",
+		999:        "999",
+		1000:       "1,000",
+		29895597:   "29,895,597",
+		-1234567:   "-1,234,567",
+		1000000000: "1,000,000,000",
+	}
+	for n, want := range cases {
+		if got := FmtInt(n); got != want {
+			t.Errorf("FmtInt(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if got := FmtPct(0.0853); got != "8.53%" {
+		t.Fatalf("FmtPct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("e", "False Accepts", "Rate")
+	tb.Add("0", "0", "0.00%")
+	tb.AddF("%d\t%s\t%s", 5, FmtInt(2508272), FmtPct(0.0853))
+	out := tb.String()
+	if !strings.Contains(out, "False Accepts") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "2,508,272") {
+		t.Fatalf("missing formatted cell:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// Short rows pad out.
+	tb2 := NewTable("a", "b")
+	tb2.Add("only")
+	if !strings.Contains(tb2.String(), "only") {
+		t.Fatal("short row lost")
+	}
+}

@@ -1,0 +1,144 @@
+package simdata
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dna"
+)
+
+// GenomeConfig controls synthetic reference generation. Real genomes are
+// highly repetitive — the reason seeding yields many candidate locations per
+// read (Section 1) — so the generator plants duplicated segments with small
+// divergence on top of a random backbone.
+type GenomeConfig struct {
+	Length     int
+	RepeatFrac float64 // fraction of the genome covered by repeat copies
+	RepeatLen  int     // length of each repeat unit
+	RepeatDiv  float64 // per-base divergence between repeat copies
+	NRate      float64 // unknown base rate (assembly gaps)
+	Seed       int64
+}
+
+// DefaultGenomeConfig returns a laptop-scale human-like profile.
+func DefaultGenomeConfig(length int) GenomeConfig {
+	return GenomeConfig{
+		Length:     length,
+		RepeatFrac: 0.3,
+		RepeatLen:  600,
+		RepeatDiv:  0.02,
+		NRate:      0.0002,
+		Seed:       42,
+	}
+}
+
+// Genome synthesizes a reference sequence per the config.
+func Genome(cfg GenomeConfig) []byte {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := dna.RandomSeq(rng, cfg.Length)
+	if cfg.RepeatLen > 0 && cfg.RepeatFrac > 0 && cfg.Length > 2*cfg.RepeatLen {
+		// Pick a handful of source units and stamp diverged copies.
+		copies := int(float64(cfg.Length) * cfg.RepeatFrac / float64(cfg.RepeatLen))
+		nUnits := copies/4 + 1
+		units := make([][]byte, nUnits)
+		for i := range units {
+			start := rng.Intn(cfg.Length - cfg.RepeatLen)
+			units[i] = append([]byte(nil), g[start:start+cfg.RepeatLen]...)
+		}
+		for c := 0; c < copies; c++ {
+			u := units[rng.Intn(nUnits)]
+			dst := rng.Intn(cfg.Length - cfg.RepeatLen)
+			for i, b := range u {
+				if rng.Float64() < cfg.RepeatDiv {
+					g[dst+i] = dna.Alphabet[rng.Intn(4)]
+				} else {
+					g[dst+i] = b
+				}
+			}
+		}
+	}
+	if cfg.NRate > 0 {
+		dna.SprinkleN(rng, g, cfg.NRate)
+	}
+	return g
+}
+
+// ReadProfile is a Mason-like read simulation profile.
+type ReadProfile struct {
+	Name    string
+	Length  int
+	SubRate float64
+	InsRate float64
+	DelRate float64
+	NRate   float64
+}
+
+// Profiles from the whole-genome evaluation (Sup. Table S.1).
+var (
+	// SimSet1 mirrors "sim set 1": 300bp simulated reads with a rich
+	// deletion profile.
+	SimSet1 = ReadProfile{Name: "sim set 1 (300bp rich-deletion)", Length: 300,
+		SubRate: 0.01, InsRate: 0.001, DelRate: 0.02, NRate: 0}
+	// SimSet2 mirrors "sim set 2": 150bp simulated reads with a low indel
+	// profile.
+	SimSet2 = ReadProfile{Name: "sim set 2 (150bp low-indel)", Length: 150,
+		SubRate: 0.008, InsRate: 0.0005, DelRate: 0.0005, NRate: 0}
+	// Illumina100 mirrors the real 100bp sets (ERR240727_1-like error rates).
+	Illumina100 = ReadProfile{Name: "real-profile 100bp", Length: 100,
+		SubRate: 0.01, InsRate: 0.0002, DelRate: 0.0002, NRate: 0.0005}
+	// Illumina50 mirrors SRR20784572 (50bp).
+	Illumina50 = ReadProfile{Name: "real-profile 50bp", Length: 50,
+		SubRate: 0.008, InsRate: 0.0002, DelRate: 0.0002, NRate: 0.0005}
+	// Illumina250 mirrors SRR826471_1 (250bp).
+	Illumina250 = ReadProfile{Name: "real-profile 250bp", Length: 250,
+		SubRate: 0.015, InsRate: 0.0005, DelRate: 0.0005, NRate: 0.001}
+)
+
+// SimRead is a simulated read with its true origin for accuracy accounting.
+type SimRead struct {
+	Seq     []byte
+	TruePos int
+}
+
+// SimulateReads samples n reads uniformly from the genome and applies the
+// profile's errors, Mason-style. Reads overlapping assembly gaps keep their
+// 'N's (the mapper and filter must cope, exactly as with real data).
+func SimulateReads(genome []byte, profile ReadProfile, n int, seed int64) ([]SimRead, error) {
+	if len(genome) < profile.Length {
+		return nil, fmt.Errorf("simdata: genome (%d) shorter than read length (%d)", len(genome), profile.Length)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reads := make([]SimRead, n)
+	for i := range reads {
+		pos := rng.Intn(len(genome) - profile.Length)
+		seq := append([]byte(nil), genome[pos:pos+profile.Length]...)
+		var edits []dna.Edit
+		for p := 0; p < len(seq); p++ {
+			r := rng.Float64()
+			switch {
+			case r < profile.SubRate:
+				edits = append(edits, dna.Edit{Pos: p, Op: 'X', Base: dna.Alphabet[rng.Intn(4)]})
+			case r < profile.SubRate+profile.InsRate:
+				edits = append(edits, dna.Edit{Pos: p, Op: 'I', Base: dna.Alphabet[rng.Intn(4)]})
+			case r < profile.SubRate+profile.InsRate+profile.DelRate:
+				edits = append(edits, dna.Edit{Pos: p, Op: 'D'})
+			}
+		}
+		seq = dna.ApplyEdits(seq, edits)
+		// Restore the profile length: sequencers emit fixed-length reads.
+		for len(seq) < profile.Length {
+			ext := pos + profile.Length + (len(seq) - profile.Length)
+			if ext < len(genome) {
+				seq = append(seq, genome[ext])
+			} else {
+				seq = append(seq, dna.Alphabet[rng.Intn(4)])
+			}
+		}
+		seq = seq[:profile.Length]
+		if profile.NRate > 0 {
+			dna.SprinkleN(rng, seq, profile.NRate)
+		}
+		reads[i] = SimRead{Seq: seq, TruePos: pos}
+	}
+	return reads, nil
+}

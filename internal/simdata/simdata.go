@@ -1,0 +1,248 @@
+// Package simdata generates the synthetic workloads of the reproduction.
+// The paper evaluates on 30M-pair datasets seeded by mrFAST from 1000
+// Genomes reads against GRCh37 (Sup. Table S.1), plus Mason-simulated read
+// sets; neither the reads nor the reference are redistributable here, so
+// this package synthesizes equivalents that preserve what the filters
+// actually see: (read, candidate segment) pairs with a controlled
+// edit-distance profile, a controlled rate of undefined ('N'-containing)
+// pairs, and the seed-and-extend structure of mapper-generated candidates
+// (an exact seed region with edits distributed around it).
+package simdata
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dna"
+	"repro/internal/gkgpu"
+)
+
+// PairCase is one generated read/candidate pair; TrueDistance is not
+// precomputed (the harness computes Edlib ground truth itself) but the
+// generator records the number of edits it planted for diagnostics.
+type PairCase struct {
+	Read, Ref    []byte
+	PlantedEdits int
+	Undefined    bool
+}
+
+// Profile describes a dataset's edit-distance mixture, mirroring one of the
+// paper's Sets: a fraction of "close" candidates (the mapper's true and
+// near-true locations) and a remainder of "far" candidates arising from
+// genomic repeats, plus the measured undefined-pair rate.
+type Profile struct {
+	Name    string
+	ReadLen int
+	// SeedE is the mrFAST error threshold that curated the paper's set.
+	SeedE int
+	// CloseFrac of pairs draw their edit count from [0, CloseMax]; the rest
+	// are "far" candidates: with probability RandomFrac a near-random
+	// reference window that shares only the seed region with the read (the
+	// typical spurious hash hit, edit distance ~0.45L), otherwise a
+	// diverged-repeat candidate with edits drawn from [FarMin, FarMax].
+	CloseFrac        float64
+	CloseMax         int
+	RandomFrac       float64
+	FarMin, FarMax   int
+	IndelFrac        float64
+	UndefinedRate    float64
+	SeededCandidates bool // plant an exact seed region, as pigeonhole seeding implies
+	PaperPairs       int  // the paper's dataset size (30M for most sets)
+}
+
+// Sets is the registry of dataset profiles from Sup. Table S.1. Undefined
+// rates are the paper's exact counts divided by 30M. The edit mixtures are
+// chosen so the Edlib accept fractions track the paper's Tables S.2-S.4.
+var Sets = map[string]Profile{
+	"set1": {Name: "Set 1 (100bp low-edit)", ReadLen: 100, SeedE: 2, CloseFrac: 0.02,
+		CloseMax: 5, RandomFrac: 0.80, FarMin: 4, FarMax: 30, IndelFrac: 0.25, UndefinedRate: 28009.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set3": {Name: "Set 3 (100bp, mrFAST e=5)", ReadLen: 100, SeedE: 5, CloseFrac: 0.06,
+		CloseMax: 11, RandomFrac: 0.80, FarMin: 8, FarMax: 35, IndelFrac: 0.25, UndefinedRate: 92414.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set4": {Name: "Set 4 (100bp high-edit)", ReadLen: 100, SeedE: 40, CloseFrac: 0.002,
+		CloseMax: 10, RandomFrac: 0.85, FarMin: 15, FarMax: 60, IndelFrac: 0.30, UndefinedRate: 31487.0 / 30e6,
+		SeededCandidates: false, PaperPairs: 30_000_000},
+	"set5": {Name: "Set 5 (150bp low-edit)", ReadLen: 150, SeedE: 4, CloseFrac: 0.025,
+		CloseMax: 8, RandomFrac: 0.80, FarMin: 6, FarMax: 45, IndelFrac: 0.25, UndefinedRate: 30142.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set6": {Name: "Set 6 (150bp, mrFAST e=6)", ReadLen: 150, SeedE: 6, CloseFrac: 0.05,
+		CloseMax: 14, RandomFrac: 0.80, FarMin: 10, FarMax: 50, IndelFrac: 0.25, UndefinedRate: 15141.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set7": {Name: "Set 7 (150bp high-edit)", ReadLen: 150, SeedE: 10, CloseFrac: 0.03,
+		CloseMax: 16, RandomFrac: 0.80, FarMin: 12, FarMax: 60, IndelFrac: 0.30, UndefinedRate: 329.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set8": {Name: "Set 8 (150bp high-edit e=70)", ReadLen: 150, SeedE: 70, CloseFrac: 0.001,
+		CloseMax: 15, RandomFrac: 0.85, FarMin: 20, FarMax: 90, IndelFrac: 0.30, UndefinedRate: 309.0 / 30e6,
+		SeededCandidates: false, PaperPairs: 30_000_000},
+	"set9": {Name: "Set 9 (250bp low-edit)", ReadLen: 250, SeedE: 8, CloseFrac: 0.018,
+		CloseMax: 16, RandomFrac: 0.80, FarMin: 12, FarMax: 70, IndelFrac: 0.25, UndefinedRate: 35072.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set10": {Name: "Set 10 (250bp, mrFAST e=12)", ReadLen: 250, SeedE: 12, CloseFrac: 0.02,
+		CloseMax: 26, RandomFrac: 0.75, FarMin: 15, FarMax: 80, IndelFrac: 0.25, UndefinedRate: 379292.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set11": {Name: "Set 11 (250bp high-edit e=15)", ReadLen: 250, SeedE: 15, CloseFrac: 0.02,
+		CloseMax: 26, RandomFrac: 0.75, FarMin: 18, FarMax: 90, IndelFrac: 0.30, UndefinedRate: 1273260.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set12": {Name: "Set 12 (250bp high-edit e=100)", ReadLen: 250, SeedE: 100, CloseFrac: 0.001,
+		CloseMax: 25, RandomFrac: 0.85, FarMin: 30, FarMax: 125, IndelFrac: 0.30, UndefinedRate: 4763682.0 / 30e6,
+		SeededCandidates: false, PaperPairs: 30_000_000},
+	// Minimap2 candidates sampled before the first chaining DP: broader
+	// close fraction than mrFAST (Table S.5 shows ~3-10% Edlib accepts).
+	"minimap2": {Name: "Minimap2 pairs (100bp)", ReadLen: 100, SeedE: 10, CloseFrac: 0.09,
+		CloseMax: 12, RandomFrac: 0.55, FarMin: 8, FarMax: 40, IndelFrac: 0.30, UndefinedRate: 26759.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
+	// BWA-MEM pairs before ksw_global2: small sets dominated by accepts at
+	// e=0 and near-threshold rejects above (Table S.6).
+	"bwamem": {Name: "BWA-MEM pairs (100bp)", ReadLen: 100, SeedE: 10, CloseFrac: 0.45,
+		CloseMax: 8, RandomFrac: 0.20, FarMin: 5, FarMax: 25, IndelFrac: 0.30, UndefinedRate: 0.002,
+		SeededCandidates: true, PaperPairs: 17_725},
+}
+
+// Set returns a registered profile.
+func Set(name string) (Profile, error) {
+	p, ok := Sets[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("simdata: unknown set %q", name)
+	}
+	return p, nil
+}
+
+// Generate produces n pairs from the profile, deterministically for a seed.
+func Generate(p Profile, seed int64, n int) []PairCase {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]PairCase, n)
+	for i := range pairs {
+		pairs[i] = generateOne(p, rng)
+	}
+	return pairs
+}
+
+func generateOne(p Profile, rng *rand.Rand) PairCase {
+	L := p.ReadLen
+	read := dna.RandomSeq(rng, L)
+
+	var ref []byte
+	k := 0
+	switch {
+	case rng.Float64() < p.CloseFrac:
+		k = rng.Intn(p.CloseMax + 1)
+		if p.SeededCandidates {
+			ref = mutateOutsideSeed(rng, read, k, p.IndelFrac, p.SeedE)
+		} else {
+			mutated := dna.ApplyEdits(read, dna.RandomEdits(rng, L, k, p.IndelFrac))
+			ref = fitLength(rng, mutated, L)
+		}
+	case rng.Float64() < p.RandomFrac:
+		// Spurious candidate: a random window sharing only the seed.
+		k = -1
+		ref = dna.RandomSeq(rng, L)
+		if p.SeededCandidates {
+			segLen := seedSegmentLen(L, p.SeedE)
+			start := rng.Intn(L - segLen + 1)
+			copy(ref[start:start+segLen], read[start:start+segLen])
+		}
+	default:
+		k = p.FarMin + rng.Intn(p.FarMax-p.FarMin+1)
+		if p.SeededCandidates {
+			ref = mutateOutsideSeed(rng, read, k, p.IndelFrac, p.SeedE)
+		} else {
+			mutated := dna.ApplyEdits(read, dna.RandomEdits(rng, L, k, p.IndelFrac))
+			ref = fitLength(rng, mutated, L)
+		}
+	}
+
+	pc := PairCase{Read: read, Ref: ref, PlantedEdits: k}
+	if rng.Float64() < p.UndefinedRate {
+		pos := rng.Intn(L)
+		if rng.Intn(2) == 0 {
+			pc.Read = append([]byte(nil), pc.Read...)
+			pc.Read[pos] = 'N'
+		} else {
+			pc.Ref = append([]byte(nil), pc.Ref...)
+			pc.Ref[pos] = 'N'
+		}
+		pc.Undefined = true
+	}
+	return pc
+}
+
+// seedSegmentLen is the pigeonhole seed length for a read of length L
+// curated at threshold seedE.
+func seedSegmentLen(L, seedE int) int {
+	segments := seedE + 1
+	if segments < 1 {
+		segments = 1
+	}
+	segLen := L / segments
+	if segLen < 8 {
+		segLen = 8
+	}
+	if segLen > L {
+		segLen = L
+	}
+	return segLen
+}
+
+// mutateOutsideSeed plants k edits while keeping one pigeonhole seed region
+// exact, as a candidate reported by an (e+1)-segment seeding mapper must.
+func mutateOutsideSeed(rng *rand.Rand, read []byte, k int, indelFrac float64, seedE int) []byte {
+	L := len(read)
+	segLen := seedSegmentLen(L, seedE)
+	maxStart := L - segLen
+	if maxStart < 0 {
+		maxStart = 0
+	}
+	seedStart := rng.Intn(maxStart + 1)
+	seedEnd := seedStart + segLen
+
+	// Draw edit positions outside the seed.
+	edits := make([]dna.Edit, 0, k)
+	for len(edits) < k {
+		pos := rng.Intn(L)
+		if pos >= seedStart && pos < seedEnd {
+			continue
+		}
+		e := dna.Edit{Pos: pos, Base: dna.Alphabet[rng.Intn(4)]}
+		switch {
+		case rng.Float64() >= indelFrac:
+			e.Op = 'X'
+		case rng.Intn(2) == 0:
+			e.Op = 'I'
+		default:
+			e.Op = 'D'
+		}
+		edits = append(edits, e)
+	}
+	sortEditsByPos(edits)
+	mutated := dna.ApplyEdits(read, edits)
+	return fitLength(rng, mutated, L)
+}
+
+func sortEditsByPos(edits []dna.Edit) {
+	for i := 1; i < len(edits); i++ {
+		for j := i; j > 0 && edits[j].Pos < edits[j-1].Pos; j-- {
+			edits[j], edits[j-1] = edits[j-1], edits[j]
+		}
+	}
+}
+
+// fitLength trims or extends a mutated sequence to exactly L bases, as a
+// mapper extracting a read-length window from the reference would.
+func fitLength(rng *rand.Rand, seq []byte, L int) []byte {
+	out := make([]byte, L)
+	n := copy(out, seq)
+	for i := n; i < L; i++ {
+		out[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	return out
+}
+
+// ToEnginePairs converts generated cases to engine input.
+func ToEnginePairs(cases []PairCase) []gkgpu.Pair {
+	pairs := make([]gkgpu.Pair, len(cases))
+	for i, c := range cases {
+		pairs[i] = gkgpu.Pair{Read: c.Read, Ref: c.Ref}
+	}
+	return pairs
+}
