@@ -7,6 +7,7 @@
 //	gkbench -exp fig4             # run one experiment
 //	gkbench -all                  # run everything
 //	gkbench -exp table2 -scale 5  # 5x the default workload sizes
+//	gkbench -stream               # one-shot vs streaming pipeline comparison
 package main
 
 import (
@@ -19,11 +20,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = quick laptop sizes)")
-		seed  = flag.Int64("seed", 42, "dataset generation seed")
+		exp    = flag.String("exp", "", "experiment ID to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		stream = flag.Bool("stream", false, "run the streaming-pipeline comparison (shorthand for -exp pipeline)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = quick laptop sizes)")
+		seed   = flag.Int64("seed", 42, "dataset generation seed")
 	)
 	flag.Parse()
 
@@ -34,7 +36,16 @@ func main() {
 		return
 	}
 	opts := harness.Options{Out: os.Stdout, Scale: *scale, Seed: *seed}
+	if *stream && (*all || *exp != "") {
+		fmt.Fprintln(os.Stderr, "gkbench: -stream conflicts with -exp/-all (it is shorthand for -exp pipeline)")
+		os.Exit(2)
+	}
 	switch {
+	case *stream:
+		if err := harness.Run("pipeline", opts); err != nil {
+			fmt.Fprintf(os.Stderr, "gkbench: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
 		for _, id := range harness.IDs() {
 			if err := harness.Run(id, opts); err != nil {

@@ -4,22 +4,31 @@
 // Pairs come either from a registered dataset profile (-set) or from a TSV
 // file (-pairs) with one "read<TAB>reference" pair per line.
 //
+// With -stream, pairs run through the GateKeeper-GPU engine's asynchronous
+// double-buffered streaming pipeline (Engine.FilterStream) on -gpus simulated
+// devices instead of the per-pair filter loop, and the engine's modelled
+// clocks are reported next to the accuracy numbers.
+//
 // Usage:
 //
 //	gkfilter -set set3 -n 10000 -e 5
 //	gkfilter -set set1 -n 5000 -e 2 -filter sneakysnake
 //	gkfilter -pairs pairs.tsv -e 4 -v
+//	gkfilter -set set3 -n 100000 -e 5 -stream -gpus 4 -encoding host
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/align"
+	"repro/internal/cuda"
 	"repro/internal/filter"
+	"repro/internal/gkgpu"
 	"repro/internal/metrics"
 	"repro/internal/simdata"
 )
@@ -33,6 +42,9 @@ func main() {
 		filterName = flag.String("filter", "gatekeeper-gpu", "filter to run")
 		seed       = flag.Int64("seed", 42, "generation seed")
 		verbose    = flag.Bool("v", false, "print one line per pair")
+		stream     = flag.Bool("stream", false, "filter through the streaming engine instead of the per-pair loop")
+		gpus       = flag.Int("gpus", 2, "simulated devices for -stream")
+		encoding   = flag.String("encoding", "host", "encoding actor for -stream: host or device")
 	)
 	flag.Parse()
 
@@ -60,13 +72,29 @@ func main() {
 	}
 
 	var c metrics.Confusion
-	for i := range reads {
-		d := f.Filter(reads[i], refs[i], *e)
-		trueDist := align.Distance(reads[i], refs[i])
-		c.Add(metrics.Outcome{TrueWithin: trueDist <= *e, Accept: d.Accept})
-		if *verbose {
-			fmt.Printf("pair %d: accept=%v estimate=%d edlib=%d undefined=%v\n",
-				i, d.Accept, d.Estimate, trueDist, d.Undefined)
+	if *stream {
+		// The stream path always runs the GateKeeper-GPU engine; refuse
+		// other -filter values rather than mis-attribute its numbers.
+		if *filterName != "gatekeeper-gpu" {
+			fatal(fmt.Errorf("-stream runs the gatekeeper-gpu engine; it cannot run -filter %s", *filterName))
+		}
+		results, err := streamFilter(reads, refs, *e, *gpus, *encoding, *verbose)
+		if err != nil {
+			fatal(err)
+		}
+		for i, r := range results {
+			trueDist := align.Distance(reads[i], refs[i])
+			c.Add(metrics.Outcome{TrueWithin: trueDist <= *e, Accept: r.Accept})
+		}
+	} else {
+		for i := range reads {
+			d := f.Filter(reads[i], refs[i], *e)
+			trueDist := align.Distance(reads[i], refs[i])
+			c.Add(metrics.Outcome{TrueWithin: trueDist <= *e, Accept: d.Accept})
+			if *verbose {
+				fmt.Printf("pair %d: accept=%v estimate=%d edlib=%d undefined=%v\n",
+					i, d.Accept, d.Estimate, trueDist, d.Undefined)
+			}
 		}
 	}
 
@@ -76,6 +104,81 @@ func main() {
 	fmt.Printf("false accepts: %s (rate %s)\n", metrics.FmtInt(c.FalseAccepts), metrics.FmtPct(c.FalseAcceptRate()))
 	fmt.Printf("false rejects: %s\n", metrics.FmtInt(c.FalseRejects))
 	fmt.Printf("true rejects:  %s (rate %s)\n", metrics.FmtInt(c.TrueRejects), metrics.FmtPct(c.TrueRejectRate()))
+}
+
+// streamFilter runs every pair through Engine.FilterStream in input order and
+// reports the engine's modelled clocks.
+func streamFilter(reads, refs [][]byte, e, gpus int, encoding string, verbose bool) ([]gkgpu.Result, error) {
+	if len(reads) == 0 {
+		return nil, nil
+	}
+	L := len(reads[0])
+	for i := range reads {
+		if len(reads[i]) != L || len(refs[i]) != L {
+			return nil, fmt.Errorf("-stream needs uniform pair lengths; pair %d has %d/%d, want %d",
+				i, len(reads[i]), len(refs[i]), L)
+		}
+	}
+	var enc gkgpu.EncodingActor
+	switch encoding {
+	case "host":
+		enc = gkgpu.EncodeOnHost
+	case "device":
+		enc = gkgpu.EncodeOnDevice
+	default:
+		return nil, fmt.Errorf("unknown encoding actor %q (want host or device)", encoding)
+	}
+	if gpus < 1 {
+		return nil, fmt.Errorf("-gpus must be positive, got %d", gpus)
+	}
+	// Dispatch granularity: small enough that the workload spreads across
+	// every device (a few batches each), large enough to amortize launches.
+	streamBatch := len(reads) / (2 * gpus)
+	if streamBatch < 256 {
+		streamBatch = 256
+	}
+	if streamBatch > 1<<16 {
+		streamBatch = 1 << 16
+	}
+	eng, err := gkgpu.NewEngine(gkgpu.Config{ReadLen: L, MaxE: e, Encoding: enc,
+		MaxBatchPairs: 1 << 16, StreamBatchPairs: streamBatch},
+		cuda.NewUniformContext(gpus, cuda.GTX1080Ti()))
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	in := make(chan gkgpu.Pair, 1024)
+	out, err := eng.FilterStream(context.Background(), in, e)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for i := range reads {
+			in <- gkgpu.Pair{Read: reads[i], Ref: refs[i]}
+		}
+		close(in)
+	}()
+	results := make([]gkgpu.Result, 0, len(reads))
+	for r := range out {
+		if verbose {
+			fmt.Printf("pair %d: accept=%v estimate=%d undefined=%v\n",
+				len(results), r.Accept, r.Estimate, r.Undefined)
+		}
+		results = append(results, r)
+	}
+	if err := eng.StreamErr(); err != nil {
+		return nil, fmt.Errorf("stream aborted: %w", err)
+	}
+	if len(results) != len(reads) {
+		return nil, fmt.Errorf("stream returned %d of %d results", len(results), len(reads))
+	}
+	st := eng.Stats()
+	fmt.Printf("# stream: %d devices, %s-encoded, %d batches\n", gpus, enc, st.Batches)
+	fmt.Printf("# modelled kernel %.4fs, filter %.4fs (%.1f M pairs/s); wall %.3fs\n",
+		st.KernelSeconds, st.FilterSeconds,
+		float64(st.Pairs)/st.FilterSeconds/1e6, st.WallSeconds)
+	return results, nil
 }
 
 func loadPairs(path string) (reads, refs [][]byte, err error) {

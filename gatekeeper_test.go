@@ -1,6 +1,7 @@
 package gatekeeper
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -67,6 +68,56 @@ func TestPublicEngineEndToEnd(t *testing.T) {
 	st := eng.Stats()
 	if st.Pairs != 400 || st.KernelSeconds <= 0 {
 		t.Fatalf("engine stats implausible: %+v", st)
+	}
+}
+
+func TestPublicStreamMatchesOneShotOnAllSets(t *testing.T) {
+	// Acceptance: FilterStream returns byte-identical decisions to
+	// FilterPairs, in input order, on every seeded evaluation dataset.
+	for _, set := range []string{"set1", "set2", "set3", "set4", "set5", "set6",
+		"set7", "set8", "set9", "set10", "set11", "set12"} {
+		profile, err := Dataset(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := GeneratePairs(profile, 9, 300)
+		e := profile.ReadLen / 20
+		cfg := EngineConfig{ReadLen: profile.ReadLen, MaxE: e, Encoding: EncodeOnHost,
+			MaxBatchPairs: 128, StreamBatchPairs: 64}
+		oneShot, err := NewEngine(cfg, 2, GTX1080Ti())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oneShot.FilterPairs(pairs, e)
+		oneShot.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := NewEngine(cfg, 2, GTX1080Ti())
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(chan Pair, len(pairs))
+		for _, p := range pairs {
+			in <- p
+		}
+		close(in)
+		out, err := stream.FilterStream(context.Background(), in, e)
+		if err != nil {
+			stream.Close()
+			t.Fatal(err)
+		}
+		i := 0
+		for r := range out {
+			if r != want[i] {
+				t.Fatalf("%s pair %d: stream %+v one-shot %+v", set, i, r, want[i])
+			}
+			i++
+		}
+		stream.Close()
+		if i != len(want) {
+			t.Fatalf("%s: stream returned %d of %d results", set, i, len(want))
+		}
 	}
 }
 

@@ -47,6 +47,11 @@ type CostModel struct {
 	MultiGPUKernelOverheadHost float64
 	MultiGPUFilterOverhead     float64
 
+	// StreamEncodeEff is the per-extra-worker efficiency of the parallel
+	// host-encode pool used by the double-buffered streaming path (1.0 would
+	// be perfect linear scaling; memory-bandwidth contention keeps it below).
+	StreamEncodeEff float64
+
 	// CPU (GateKeeper-CPU) constants, seconds per pair.
 	CPUBasePerBase  float64 // x readLen: encoding + loop overhead
 	CPUPerMaskWord  float64 // x words x masks
@@ -74,6 +79,8 @@ func DefaultCostModel() CostModel {
 		MultiGPUKernelOverheadDev:  0.090,
 		MultiGPUKernelOverheadHost: 0.025,
 		MultiGPUFilterOverhead:     0.060,
+
+		StreamEncodeEff: 0.75,
 
 		CPUBasePerBase:  8.8e-9,
 		CPUPerMaskWord:  72.6e-9,
@@ -151,27 +158,90 @@ func (m CostModel) FilterSeconds(spec DeviceSpec, w Workload, hostFactor float64
 // imbalance overhead. Host-encoded batches scale closer to linearly because
 // the kernel is pure mask arithmetic (Figure 8's observation).
 func (m CostModel) MultiGPUKernelSeconds(spec DeviceSpec, w Workload, n int) float64 {
-	if n <= 1 {
-		return m.KernelSeconds(spec, w)
-	}
 	share := w
-	share.Pairs = (w.Pairs + n - 1) / n
-	overhead := m.MultiGPUKernelOverheadHost
-	if w.DeviceEncoded {
-		overhead = m.MultiGPUKernelOverheadDev
+	if n > 1 {
+		share.Pairs = (w.Pairs + n - 1) / n
 	}
-	return m.KernelSeconds(spec, share) * (1 + overhead*float64(n-1))
+	return m.ShareKernelSeconds(spec, share, n)
 }
 
 // MultiGPUFilterSeconds is FilterSeconds under an even n-way split with the
 // host preparation parallelized across per-device batching goroutines.
 func (m CostModel) MultiGPUFilterSeconds(spec DeviceSpec, w Workload, n int, hostFactor float64) float64 {
-	if n <= 1 {
-		return m.FilterSeconds(spec, w, hostFactor)
-	}
 	share := w
-	share.Pairs = (w.Pairs + n - 1) / n
-	return m.FilterSeconds(spec, share, hostFactor) * (1 + m.MultiGPUFilterOverhead*float64(n-1))
+	if n > 1 {
+		share.Pairs = (w.Pairs + n - 1) / n
+	}
+	return m.ShareFilterSeconds(spec, share, n, hostFactor)
+}
+
+// ShareKernelSeconds returns the modelled kernel time of one device's share
+// of an n-device round. Unlike MultiGPUKernelSeconds it takes the share
+// workload directly (share.Pairs is what this device actually received), so
+// heterogeneous contexts can evaluate each device on its own spec and take
+// the max ("kernel time represents the time of the device which takes the
+// longest").
+func (m CostModel) ShareKernelSeconds(spec DeviceSpec, share Workload, n int) float64 {
+	t := m.KernelSeconds(spec, share)
+	if n <= 1 {
+		return t
+	}
+	overhead := m.MultiGPUKernelOverheadHost
+	if share.DeviceEncoded {
+		overhead = m.MultiGPUKernelOverheadDev
+	}
+	return t * (1 + overhead*float64(n-1))
+}
+
+// ShareFilterSeconds is FilterSeconds for one device's share of an n-device
+// round, including the multi-GPU imbalance overhead.
+func (m CostModel) ShareFilterSeconds(spec DeviceSpec, share Workload, n int, hostFactor float64) float64 {
+	t := m.FilterSeconds(spec, share, hostFactor)
+	if n <= 1 {
+		return t
+	}
+	return t * (1 + m.MultiGPUFilterOverhead*float64(n-1))
+}
+
+// PairRate returns the modelled filtration throughput of a device in
+// pairs/second for the workload shape (Pairs is ignored). Engines use it as
+// the weight of the multi-device split, so a Kepler card in a mixed context
+// receives proportionally fewer pairs than a Pascal card.
+func (m CostModel) PairRate(spec DeviceSpec, w Workload) float64 {
+	one := w
+	one.Pairs = 1
+	t := m.KernelSeconds(spec, one)
+	if t <= 0 {
+		return 1
+	}
+	return 1 / t
+}
+
+// EncodePoolSpeedup returns the modelled speedup of spreading the host-side
+// 2-bit encode loop across a pool of workers.
+func (m CostModel) EncodePoolSpeedup(workers int) float64 {
+	if workers <= 1 {
+		return 1
+	}
+	return 1 + m.StreamEncodeEff*float64(workers-1)
+}
+
+// PipelinedFilterSeconds returns the modelled busy time one batch adds to a
+// device on the double-buffered streaming path: the host encode (parallelized
+// across the worker pool) of batch N+1 overlaps the transfer and kernel of
+// batch N, so the device's steady-state cost per batch is the slower of the
+// two stages — not their sum, which is what the one-shot FilterSeconds
+// charges. The launch and per-batch host synchronization overheads cannot be
+// hidden (the result decode is each batch's sync point) and are charged in
+// full, exactly as on the one-shot path.
+func (m CostModel) PipelinedFilterSeconds(spec DeviceSpec, w Workload, encodeWorkers int, hostFactor float64) float64 {
+	prep := m.HostPrepSeconds(w, hostFactor) / m.EncodePoolSpeedup(encodeWorkers)
+	dev := m.TransferSeconds(spec, w) + m.KernelSeconds(spec, w)
+	busy := prep
+	if dev > busy {
+		busy = dev
+	}
+	return busy + m.PerLaunchSeconds + m.PerBatchHostSeconds
 }
 
 // CPUKernelSeconds returns the modelled GateKeeper-CPU algorithm time on the

@@ -3,6 +3,7 @@ package gkgpu
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -40,37 +41,98 @@ func (s Stats) RejectionRate() float64 {
 	return float64(s.Rejected) / float64(s.Pairs)
 }
 
-// deviceState is the per-device slice of the engine: unified buffers, the
-// prefetch streams, and one filter kernel per executor goroutine (the
-// per-thread stack frames).
-type deviceState struct {
-	dev     *cuda.Device
-	sys     SystemConfig
+// add merges a locally accumulated Stats delta into s. The migration fields
+// are absolute gauges, not deltas: add ignores them and commitStats
+// recomputes both from live buffer state after every merge.
+func (s *Stats) add(d Stats) {
+	s.Pairs += d.Pairs
+	s.Accepted += d.Accepted
+	s.Rejected += d.Rejected
+	s.Undefined += d.Undefined
+	s.Batches += d.Batches
+	s.KernelSeconds += d.KernelSeconds
+	s.FilterSeconds += d.FilterSeconds
+	s.HostPrepSeconds += d.HostPrepSeconds
+	s.TransferSeconds += d.TransferSeconds
+	s.WallSeconds += d.WallSeconds
+}
+
+// bufferSets is how many independent buffer sets each device holds. Two sets
+// let the host encode batch N+1 while the kernel consumes batch N (the
+// double-buffered streaming path); the system-configuration stage divides
+// the memory budget accordingly.
+const bufferSets = 2
+
+// bufferSet is one independent group of unified-memory buffers plus the
+// prefetch streams that drive its transfers. A set is owned by exactly one
+// pipeline stage at a time: the encoder fills it, hands it to the launcher,
+// and gets it back once the kernel's results have been decoded.
+type bufferSet struct {
 	readBuf *cuda.UMBuffer
 	refBuf  *cuda.UMBuffer
 	flagBuf *cuda.UMBuffer
 	resBuf  *cuda.UMBuffer
 	streams []*cuda.Stream
-	kernels []*filter.Kernel
-	// Host-encoded path scratch: per-worker word views of the packed input.
+}
+
+func (s *bufferSet) free() {
+	if s == nil {
+		return
+	}
+	for _, b := range []*cuda.UMBuffer{s.readBuf, s.refBuf, s.flagBuf, s.resBuf} {
+		if b != nil {
+			b.Free()
+		}
+	}
+}
+
+// deviceState is the per-device slice of the engine: double-buffered unified
+// memory, one filter kernel per executor goroutine (the per-thread stack
+// frames), and the scratch arrays of the host-side encode pool.
+type deviceState struct {
+	dev  *cuda.Device
+	sys  SystemConfig
+	sets [bufferSets]*bufferSet
+	// Kernel-side scratch: per-worker kernels and word views used while
+	// decoding packed input inside the simulated kernel.
+	kernels   []*filter.Kernel
 	readWords [][]uint32
 	refWords  [][]uint32
+	// Host-side encode-pool scratch, disjoint from the kernel scratch so the
+	// encode of one buffer set can overlap the launch of the other.
+	encWords [][]uint32
 }
 
 // Engine is a GateKeeper-GPU instance bound to a context of simulated
-// devices. It is safe for sequential use; one engine drives all its devices
-// concurrently inside FilterPairs.
+// devices. One engine drives all its devices concurrently inside FilterPairs
+// and FilterStream. Engine methods are safe for concurrent use: Stats and
+// ResetStats may be called at any time, and concurrent FilterPairs calls or
+// streams serialize on the device buffers (a stream holds them for its whole
+// lifetime). Many goroutines may produce into a single stream's input
+// channel.
 type Engine struct {
 	cfg    Config
 	ctx    *cuda.Context
 	states []*deviceState
-	stats  Stats
 	ref    *reference // loaded by SetReference for the index-named path
+
+	// runMu serializes buffer ownership: one FilterPairs call or one active
+	// stream at a time. statsMu guards the accumulated measurements, which
+	// are committed only after a round or stream completes without error,
+	// and the last stream's terminal error.
+	runMu     sync.Mutex
+	statsMu   sync.Mutex
+	stats     Stats
+	streamErr error
 }
 
 // NewEngine configures buffers and kernels on every device of ctx for the
 // given geometry, performing the paper's configuration and resource
-// allocation stages.
+// allocation stages. Each device receives two full buffer sets so the
+// streaming path can overlap host encoding with kernel execution; the
+// memory-derived batch capacity is halved accordingly (deliberately eager —
+// allocation failures surface here, never mid-stream). Configurations
+// bounded by MaxBatchPairs, the common case, are unaffected.
 func NewEngine(cfg Config, ctx *cuda.Context) (*Engine, error) {
 	cfg.applyDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -90,26 +152,13 @@ func NewEngine(cfg Config, ctx *cuda.Context) (*Engine, error) {
 		} else {
 			seqBytes = bitvec.EncodedWords(cfg.ReadLen) * 4
 		}
-		var err error
-		if st.readBuf, err = dev.AllocUnified(sys.BatchPairs * seqBytes); err != nil {
-			return nil, fmt.Errorf("gkgpu: read buffer: %w", err)
-		}
-		if st.refBuf, err = dev.AllocUnified(sys.BatchPairs * seqBytes); err != nil {
-			return nil, fmt.Errorf("gkgpu: reference buffer: %w", err)
-		}
-		if st.flagBuf, err = dev.AllocUnified(sys.BatchPairs); err != nil {
-			return nil, fmt.Errorf("gkgpu: flag buffer: %w", err)
-		}
-		if st.resBuf, err = dev.AllocUnified(sys.BatchPairs * resultStride); err != nil {
-			return nil, fmt.Errorf("gkgpu: result buffer: %w", err)
-		}
-		// "The preferred location of the data is set to be the GPU device
-		// for the input buffers"; each buffer prefetches on its own stream.
-		st.readBuf.Advise(cuda.AdvisePreferredDevice)
-		st.refBuf.Advise(cuda.AdvisePreferredDevice)
-		st.flagBuf.Advise(cuda.AdvisePreferredDevice)
-		for i := 0; i < 3; i++ {
-			st.streams = append(st.streams, dev.NewStream())
+		for i := range st.sets {
+			set, err := allocSet(dev, sys.BatchPairs, seqBytes)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			st.sets[i] = set
 		}
 		workers := cuda.MaxWorkers(sys.BatchPairs)
 		mode := filter.ModeGPU
@@ -117,20 +166,56 @@ func NewEngine(cfg Config, ctx *cuda.Context) (*Engine, error) {
 			st.kernels = append(st.kernels, filter.NewKernel(mode, cfg.ReadLen, cfg.MaxE))
 			st.readWords = append(st.readWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
 			st.refWords = append(st.refWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
+			st.encWords = append(st.encWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
 		}
 		e.states = append(e.states, st)
 	}
 	return e, nil
 }
 
-// Close releases every unified-memory buffer.
+// allocSet allocates one buffer set on the device and applies the paper's
+// memory advice: "the preferred location of the data is set to be the GPU
+// device for the input buffers"; each buffer prefetches on its own stream.
+func allocSet(dev *cuda.Device, batchPairs, seqBytes int) (*bufferSet, error) {
+	set := &bufferSet{}
+	var err error
+	if set.readBuf, err = dev.AllocUnified(batchPairs * seqBytes); err != nil {
+		set.free()
+		return nil, fmt.Errorf("gkgpu: read buffer: %w", err)
+	}
+	if set.refBuf, err = dev.AllocUnified(batchPairs * seqBytes); err != nil {
+		set.free()
+		return nil, fmt.Errorf("gkgpu: reference buffer: %w", err)
+	}
+	if set.flagBuf, err = dev.AllocUnified(batchPairs); err != nil {
+		set.free()
+		return nil, fmt.Errorf("gkgpu: flag buffer: %w", err)
+	}
+	if set.resBuf, err = dev.AllocUnified(batchPairs * resultStride); err != nil {
+		set.free()
+		return nil, fmt.Errorf("gkgpu: result buffer: %w", err)
+	}
+	set.readBuf.Advise(cuda.AdvisePreferredDevice)
+	set.refBuf.Advise(cuda.AdvisePreferredDevice)
+	set.flagBuf.Advise(cuda.AdvisePreferredDevice)
+	for i := 0; i < 3; i++ {
+		set.streams = append(set.streams, dev.NewStream())
+	}
+	return set, nil
+}
+
+// Close releases every unified-memory buffer. It waits for an in-progress
+// FilterPairs call or active stream to finish first, so buffers are never
+// freed under a running kernel; cancel a stream's context (and let its
+// result channel close) before calling Close if you are abandoning it.
 func (e *Engine) Close() {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
 	e.clearReference()
 	for _, st := range e.states {
-		st.readBuf.Free()
-		st.refBuf.Free()
-		st.flagBuf.Free()
-		st.resBuf.Free()
+		for _, set := range st.sets {
+			set.free()
+		}
 	}
 	e.states = nil
 }
@@ -148,16 +233,187 @@ func (e *Engine) SystemConfigs() []SystemConfig {
 }
 
 // Stats returns the accumulated measurements.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
 
 // ResetStats clears the accumulated measurements.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.stats = Stats{}
+}
+
+// commitStats merges a completed round's or stream's delta and refreshes the
+// unified-memory migration gauges. Called only after every per-device error
+// has been checked, so a failed round never inflates the counters.
+func (e *Engine) commitStats(d Stats) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.stats.add(d)
+	e.stats.FaultMigrations = 0
+	e.stats.PrefetchMigration = 0
+	for _, st := range e.states {
+		for _, set := range st.sets {
+			f1, p1 := set.readBuf.MigrationStats()
+			f2, p2 := set.refBuf.MigrationStats()
+			e.stats.FaultMigrations += f1 + f2
+			e.stats.PrefetchMigration += p1 + p2
+		}
+	}
+}
+
+// countDecisions folds a result slice into the Stats decision counters.
+func (s *Stats) countDecisions(results []Result) {
+	for i := range results {
+		s.Pairs++
+		switch {
+		case results[i].Undefined:
+			s.Undefined++
+			s.Accepted++
+		case results[i].Accept:
+			s.Accepted++
+		default:
+			s.Rejected++
+		}
+	}
+}
+
+// kernelRecord is one device's modelled kernel execution, held back until a
+// round's error check passes and then folded into the device telemetry.
+type kernelRecord struct {
+	dev      *cuda.Device
+	kt, util float64
+}
+
+// roundClocks is the modelled timing of one multi-device round: the critical
+// path across participating devices for each clock, plus the per-device
+// kernel records.
+type roundClocks struct {
+	kernel, filter, prep, xfer float64
+	records                    []kernelRecord
+}
+
+// modelRound evaluates one round's clocks on each participating device's
+// actual spec and share, taking the max — "kernel time represents the time
+// of the device which takes the longest".
+func (e *Engine) modelRound(shares []int, w cuda.Workload) roundClocks {
+	nActive := 0
+	for _, s := range shares {
+		if s > 0 {
+			nActive++
+		}
+	}
+	var rc roundClocks
+	for di, st := range e.states {
+		if shares[di] == 0 {
+			continue
+		}
+		ws := w
+		ws.Pairs = shares[di]
+		dkt := e.cfg.Model.ShareKernelSeconds(st.dev.Spec, ws, nActive)
+		dft := e.cfg.Model.ShareFilterSeconds(st.dev.Spec, ws, nActive, e.cfg.Setup.HostFactor)
+		if dkt > rc.kernel {
+			rc.kernel = dkt
+		}
+		if dft > rc.filter {
+			rc.filter = dft
+		}
+		if p := e.cfg.Model.HostPrepSeconds(ws, e.cfg.Setup.HostFactor); p > rc.prep {
+			rc.prep = p
+		}
+		if x := e.cfg.Model.TransferSeconds(st.dev.Spec, ws); x > rc.xfer {
+			rc.xfer = x
+		}
+		rc.records = append(rc.records, kernelRecord{
+			dev:  st.dev,
+			kt:   dkt + e.cfg.Model.PerLaunchSeconds,
+			util: e.cfg.Model.Utilization(st.dev.Spec, ws),
+		})
+	}
+	rc.kernel += e.cfg.Model.PerLaunchSeconds
+	rc.filter += e.cfg.Model.PerLaunchSeconds + e.cfg.Model.PerBatchHostSeconds
+	return rc
+}
+
+// workload returns the cost-model workload shape for this engine at the
+// given threshold and pair count.
+func (e *Engine) workload(pairs, errThreshold int) cuda.Workload {
+	return cuda.Workload{
+		Pairs:         pairs,
+		ReadLen:       e.cfg.ReadLen,
+		E:             errThreshold,
+		DeviceEncoded: e.cfg.Encoding == EncodeOnDevice,
+	}
+}
+
+// roundShares splits a round of n pairs across the devices in proportion to
+// each device's modelled filtration rate, capped by its batch capacity. For
+// the paper's homogeneous contexts this degrades to the equal split of
+// Section 3.1 ("the batch size is equal for all devices to ensure a fair
+// workload"); a mixed Pascal/Kepler context hands the slower card
+// proportionally fewer pairs so the round's critical path shrinks.
+func (e *Engine) roundShares(n int, w cuda.Workload) []int {
+	nDev := len(e.states)
+	shares := make([]int, nDev)
+	if n <= 0 {
+		return shares
+	}
+	weights := make([]float64, nDev)
+	total := 0.0
+	for i, st := range e.states {
+		weights[i] = e.cfg.Model.PairRate(st.dev.Spec, w)
+		total += weights[i]
+	}
+	// Largest-remainder apportionment keeps the split deterministic.
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, nDev)
+	assigned := 0
+	for i := range shares {
+		exact := float64(n) * weights[i] / total
+		shares[i] = int(exact)
+		assigned += shares[i]
+		fracs[i] = frac{i, exact - float64(shares[i])}
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for r := 0; r < n-assigned; r++ {
+		shares[fracs[r%nDev].i]++
+	}
+	// Clamp to per-device capacity and push overflow to devices with spare
+	// room; the caller guarantees n <= sum of capacities.
+	overflow := 0
+	for i, st := range e.states {
+		if shares[i] > st.sys.BatchPairs {
+			overflow += shares[i] - st.sys.BatchPairs
+			shares[i] = st.sys.BatchPairs
+		}
+	}
+	for i, st := range e.states {
+		if overflow == 0 {
+			break
+		}
+		if room := st.sys.BatchPairs - shares[i]; room > 0 {
+			if room > overflow {
+				room = overflow
+			}
+			shares[i] += room
+			overflow -= room
+		}
+	}
+	return shares
+}
 
 // FilterPairs filters every pair at threshold e, batching across the
-// context's devices exactly as Section 3.1 describes: each round hands every
-// device an equal batch ("In the multi-GPU model, the batch size is equal
-// for all devices to ensure a fair workload"). Results are returned in input
-// order.
+// context's devices as Section 3.1 describes, with the share of each device
+// weighted by its modelled filtration rate. Results are returned in input
+// order. The one-shot timing model matches the paper's measured pipeline
+// (encode, transfer and kernel charged sequentially per round); FilterStream
+// models and exercises the overlapped double-buffered pipeline instead.
 func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 	if errThreshold < 0 || errThreshold > e.cfg.MaxE {
 		return nil, fmt.Errorf("gkgpu: threshold %d outside compiled [0,%d]", errThreshold, e.cfg.MaxE)
@@ -168,13 +424,24 @@ func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 				i, len(p.Read), len(p.Ref), e.cfg.ReadLen)
 		}
 	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if len(e.states) == 0 {
+		return nil, fmt.Errorf("gkgpu: engine is closed")
+	}
+
 	results := make([]Result, len(pairs))
 	wallStart := time.Now()
-	nDev := len(e.states)
 	roundCap := 0
 	for _, st := range e.states {
 		roundCap += st.sys.BatchPairs
 	}
+
+	// Round stats and device telemetry accumulate locally and are committed
+	// only after every per-device error has been checked, so a failed round
+	// leaves the engine's counters untouched.
+	var acc Stats
+	var records []kernelRecord
 
 	for off := 0; off < len(pairs); off += roundCap {
 		end := off + roundCap
@@ -182,24 +449,22 @@ func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 			end = len(pairs)
 		}
 		round := pairs[off:end]
-		// Equal split across devices.
-		share := (len(round) + nDev - 1) / nDev
+		w := e.workload(len(round), errThreshold)
+		shares := e.roundShares(len(round), w)
 		var wg sync.WaitGroup
-		errs := make([]error, nDev)
+		errs := make([]error, len(e.states))
+		lo := 0
 		for di, st := range e.states {
-			lo := di * share
-			if lo >= len(round) {
-				break
+			if shares[di] == 0 {
+				continue
 			}
-			hi := lo + share
-			if hi > len(round) {
-				hi = len(round)
-			}
+			hi := lo + shares[di]
 			wg.Add(1)
 			go func(di int, st *deviceState, chunk []Pair, out []Result) {
 				defer wg.Done()
-				errs[di] = e.runBatch(st, chunk, errThreshold, out)
+				errs[di] = e.runBatch(st, st.sets[0], chunk, errThreshold, out)
 			}(di, st, round[lo:hi], results[off+lo:off+hi])
+			lo = hi
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -207,117 +472,137 @@ func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 				return nil, err
 			}
 		}
-		// Model the round's timing: the kernel clock is the slowest device
-		// ("kernel time represents the time of the device which takes the
-		// longest"), here the full-share device.
-		w := cuda.Workload{
-			Pairs:         len(round),
-			ReadLen:       e.cfg.ReadLen,
-			E:             errThreshold,
-			DeviceEncoded: e.cfg.Encoding == EncodeOnDevice,
-		}
-		spec := e.states[0].dev.Spec
-		kt := e.cfg.Model.MultiGPUKernelSeconds(spec, w, nDev) + e.cfg.Model.PerLaunchSeconds
-		ft := e.cfg.Model.MultiGPUFilterSeconds(spec, w, nDev, e.cfg.Setup.HostFactor) +
-			e.cfg.Model.PerLaunchSeconds + e.cfg.Model.PerBatchHostSeconds
-		e.stats.KernelSeconds += kt
-		e.stats.FilterSeconds += ft
-		e.stats.HostPrepSeconds += e.cfg.Model.HostPrepSeconds(w, e.cfg.Setup.HostFactor) / float64(nDev)
-		e.stats.TransferSeconds += e.cfg.Model.TransferSeconds(spec, w) / float64(nDev)
-		e.stats.Batches++
-		util := e.cfg.Model.Utilization(spec, w)
-		for di, st := range e.states {
-			if di*share < len(round) {
-				st.dev.RecordKernel(kt, util)
-			}
-		}
+		rc := e.modelRound(shares, w)
+		acc.KernelSeconds += rc.kernel
+		acc.FilterSeconds += rc.filter
+		acc.HostPrepSeconds += rc.prep
+		acc.TransferSeconds += rc.xfer
+		acc.Batches++
+		records = append(records, rc.records...)
 	}
 
-	for i := range results {
-		e.stats.Pairs++
-		switch {
-		case results[i].Undefined:
-			e.stats.Undefined++
-			e.stats.Accepted++
-		case results[i].Accept:
-			e.stats.Accepted++
-		default:
-			e.stats.Rejected++
-		}
+	acc.countDecisions(results)
+	acc.WallSeconds = time.Since(wallStart).Seconds()
+	for _, r := range records {
+		r.dev.RecordKernel(r.kt, r.util)
 	}
-	e.stats.WallSeconds += time.Since(wallStart).Seconds()
-	e.stats.FaultMigrations = 0
-	e.stats.PrefetchMigration = 0
-	for _, st := range e.states {
-		f1, p1 := st.readBuf.MigrationStats()
-		f2, p2 := st.refBuf.MigrationStats()
-		e.stats.FaultMigrations += f1 + f2
-		e.stats.PrefetchMigration += p1 + p2
-	}
+	e.commitStats(acc)
 	return results, nil
 }
 
-// runBatch executes one device's share of a round: fill unified buffers
-// (preprocessing), advise/prefetch, launch, and decode the result buffer.
-func (e *Engine) runBatch(st *deviceState, chunk []Pair, errThreshold int, out []Result) error {
-	n := len(chunk)
-	if n == 0 {
+// runBatch executes one device's share of a round on the given buffer set:
+// fill unified buffers (preprocessing), advise/prefetch, launch, and decode
+// the result buffer.
+func (e *Engine) runBatch(st *deviceState, set *bufferSet, chunk []Pair, errThreshold int, out []Result) error {
+	if len(chunk) == 0 {
 		return nil
 	}
+	e.encodeChunk(st, set, chunk)
+	e.prefetch(st, set)
+	return e.launchDecode(st, set, len(chunk), errThreshold, out)
+}
+
+// encodeChunk performs the preprocessing stage for one batch: filling the
+// unified buffers on the host, fanned out across the encode worker pool
+// (each worker packs a contiguous slice of the batch with its own scratch
+// words). A pair whose lengths do not match the compiled geometry is flagged
+// undefined so the kernel skips it — FilterPairs rejects such pairs up
+// front, but a stream must keep its slot to preserve ordering.
+func (e *Engine) encodeChunk(st *deviceState, set *bufferSet, chunk []Pair) {
+	n := len(chunk)
 	L := e.cfg.ReadLen
 	encWords := bitvec.EncodedWords(L)
-	flags := st.flagBuf.Bytes()
+	flags := set.flagBuf.Bytes()
+	rb, fb := set.readBuf.Bytes(), set.refBuf.Bytes()
 
-	// Preprocessing: fill the unified buffers on the host.
-	if e.cfg.Encoding == EncodeOnDevice {
-		rb, fb := st.readBuf.Bytes(), st.refBuf.Bytes()
-		for i, p := range chunk {
-			copy(rb[i*L:], p.Read)
-			copy(fb[i*L:], p.Ref)
-			flags[i] = 0
-		}
-		st.readBuf.HostWrite(0, n*L)
-		st.refBuf.HostWrite(0, n*L)
-	} else {
-		rb, fb := st.readBuf.Bytes(), st.refBuf.Bytes()
-		words := make([]uint32, encWords)
-		encodeInto := func(dst []byte, seq []byte) bool {
-			if dna.HasN(seq) {
-				return false
-			}
-			if err := dna.EncodeInto(words, seq); err != nil {
-				return false
-			}
-			for w, v := range words {
-				binary.LittleEndian.PutUint32(dst[w*4:], v)
-			}
-			return true
-		}
-		for i, p := range chunk {
-			okR := encodeInto(rb[i*encWords*4:(i+1)*encWords*4], p.Read)
-			okF := encodeInto(fb[i*encWords*4:(i+1)*encWords*4], p.Ref)
-			if okR && okF {
-				flags[i] = 0
-			} else {
-				flags[i] = 1 // undefined: skip filtration in the kernel
-			}
-		}
-		st.readBuf.HostWrite(0, n*encWords*4)
-		st.refBuf.HostWrite(0, n*encWords*4)
+	workers := len(st.encWords)
+	if workers > n {
+		workers = n
 	}
-	st.flagBuf.HostWrite(0, n)
+	stride := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * stride
+		if lo >= n {
+			break
+		}
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			if e.cfg.Encoding == EncodeOnDevice {
+				for i := lo; i < hi; i++ {
+					p := chunk[i]
+					if len(p.Read) != L || len(p.Ref) != L {
+						flags[i] = 1
+						continue
+					}
+					copy(rb[i*L:], p.Read)
+					copy(fb[i*L:], p.Ref)
+					flags[i] = 0
+				}
+				return
+			}
+			words := st.encWords[wk]
+			encodeInto := func(dst []byte, seq []byte) bool {
+				if len(seq) != L || dna.HasN(seq) {
+					return false
+				}
+				if err := dna.EncodeInto(words, seq); err != nil {
+					return false
+				}
+				for w, v := range words {
+					binary.LittleEndian.PutUint32(dst[w*4:], v)
+				}
+				return true
+			}
+			for i := lo; i < hi; i++ {
+				p := chunk[i]
+				okR := encodeInto(rb[i*encWords*4:(i+1)*encWords*4], p.Read)
+				okF := encodeInto(fb[i*encWords*4:(i+1)*encWords*4], p.Ref)
+				if okR && okF {
+					flags[i] = 0
+				} else {
+					flags[i] = 1 // undefined: skip filtration in the kernel
+				}
+			}
+		}(wk, lo, hi)
+	}
+	wg.Wait()
 
-	// Prefetch each input buffer on its own stream (no-ops on Kepler).
-	st.readBuf.PrefetchAsync(st.streams[0])
-	st.refBuf.PrefetchAsync(st.streams[1])
-	st.flagBuf.PrefetchAsync(st.streams[2])
+	if e.cfg.Encoding == EncodeOnDevice {
+		set.readBuf.HostWrite(0, n*L)
+		set.refBuf.HostWrite(0, n*L)
+	} else {
+		set.readBuf.HostWrite(0, n*encWords*4)
+		set.refBuf.HostWrite(0, n*encWords*4)
+	}
+	set.flagBuf.HostWrite(0, n)
+}
+
+// prefetch submits each input buffer's migration on its own stream (no-ops
+// on Kepler, where the kernel's first touch pays the fault path instead).
+func (e *Engine) prefetch(st *deviceState, set *bufferSet) {
+	set.readBuf.PrefetchAsync(set.streams[0])
+	set.refBuf.PrefetchAsync(set.streams[1])
+	set.flagBuf.PrefetchAsync(set.streams[2])
 	if !st.dev.Spec.SupportsPrefetch() {
 		// On-demand migration when the kernel touches the buffers.
-		st.readBuf.DeviceTouch(0, st.readBuf.Len())
-		st.refBuf.DeviceTouch(0, st.refBuf.Len())
+		set.readBuf.DeviceTouch(0, set.readBuf.Len())
+		set.refBuf.DeviceTouch(0, set.refBuf.Len())
 	}
+}
 
-	res := st.resBuf.Bytes()
+// launchDecode launches the filtration kernel over an encoded buffer set and
+// decodes the result buffer into out.
+func (e *Engine) launchDecode(st *deviceState, set *bufferSet, n, errThreshold int, out []Result) error {
+	L := e.cfg.ReadLen
+	encWords := bitvec.EncodedWords(L)
+	flags := set.flagBuf.Bytes()
+	res := set.resBuf.Bytes()
 	lc := st.sys.Launch
 	if need := (n + lc.ThreadsPerBlock - 1) / lc.ThreadsPerBlock; need < lc.Blocks {
 		lc.Blocks = need // ragged final batch
@@ -328,8 +613,8 @@ func (e *Engine) runBatch(st *deviceState, chunk []Pair, errThreshold int, out [
 			r = Result{Accept: true, Undefined: true}
 		} else if e.cfg.Encoding == EncodeOnDevice {
 			d, ferr := st.kernels[worker].FilterChecked(
-				st.readBuf.Bytes()[tid*L:(tid+1)*L],
-				st.refBuf.Bytes()[tid*L:(tid+1)*L],
+				set.readBuf.Bytes()[tid*L:(tid+1)*L],
+				set.refBuf.Bytes()[tid*L:(tid+1)*L],
 				errThreshold)
 			if ferr != nil {
 				r = Result{Accept: true} // defensive: pass to verification
@@ -338,8 +623,8 @@ func (e *Engine) runBatch(st *deviceState, chunk []Pair, errThreshold int, out [
 			}
 		} else {
 			rw, fw := st.readWords[worker], st.refWords[worker]
-			rb := st.readBuf.Bytes()[tid*encWords*4:]
-			fb := st.refBuf.Bytes()[tid*encWords*4:]
+			rb := set.readBuf.Bytes()[tid*encWords*4:]
+			fb := set.refBuf.Bytes()[tid*encWords*4:]
 			for w := 0; w < encWords; w++ {
 				rw[w] = binary.LittleEndian.Uint32(rb[w*4:])
 				fw[w] = binary.LittleEndian.Uint32(fb[w*4:])
@@ -366,7 +651,7 @@ func (e *Engine) runBatch(st *deviceState, chunk []Pair, errThreshold int, out [
 
 	// The host reads results back through the shared pointer — the batch's
 	// only synchronization point (Section 3.5).
-	st.resBuf.HostWrite(0, n*resultStride)
+	set.resBuf.HostWrite(0, n*resultStride)
 	for i := range out {
 		base := i * resultStride
 		out[i] = Result{

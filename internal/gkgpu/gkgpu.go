@@ -12,6 +12,19 @@
 // logical thread per filtration, results written back through unified
 // memory, with memory advice and asynchronous prefetch on supporting
 // devices.
+//
+// Two execution paths are offered. Engine.FilterPairs is the paper's
+// one-shot pipeline: synchronized rounds in which every device receives a
+// weighted share of the batch and the host charges encode, transfer and
+// kernel time sequentially, reproducing the measured FilterSeconds of
+// Section 4.3. Engine.FilterStream is the throughput-oriented extension: an
+// asynchronous, double-buffered pipeline in which each device owns two
+// buffer sets so the parallel host-encode pool fills batch N+1 while the
+// kernel consumes batch N (the prefetch streams drive the overlap), with
+// bounded in-flight batches, order-preserving results, and support for many
+// concurrent producers feeding one input channel. Decisions are identical
+// between the two paths; only the modelled timing differs, because the
+// streaming pipeline hides host work behind kernel execution.
 package gkgpu
 
 import (
@@ -50,18 +63,23 @@ type Setup struct {
 	CPUFactor float64
 	// CPUCores is the core count used for the multicore CPU baseline.
 	CPUCores int
+	// EncodeWorkers is the host-encode worker-pool width of the modelled
+	// platform, used by the streaming path's pipelined cost model (the real
+	// pool is sized to the simulating machine, but modelled clocks must not
+	// depend on it). Zero behaves as 1.
+	EncodeWorkers int
 }
 
 // Setup1 returns the paper's primary platform: Xeon Gold 6140 host with
 // GTX 1080 Ti devices (PCIe 3, prefetch-capable).
 func Setup1() Setup {
-	return Setup{Name: "Setup 1", HostFactor: 1.0, CPUFactor: 1.0, CPUCores: 12}
+	return Setup{Name: "Setup 1", HostFactor: 1.0, CPUFactor: 1.0, CPUCores: 12, EncodeWorkers: 12}
 }
 
 // Setup2 returns the secondary platform: Xeon E5-2643 host with Tesla K20X
 // devices (PCIe 2, no prefetch).
 func Setup2() Setup {
-	return Setup{Name: "Setup 2", HostFactor: 1.2, CPUFactor: 1.08, CPUCores: 12}
+	return Setup{Name: "Setup 2", HostFactor: 1.2, CPUFactor: 1.08, CPUCores: 12, EncodeWorkers: 12}
 }
 
 // Config parametrizes an Engine. ReadLen and MaxE mirror the CUDA build's
@@ -83,6 +101,13 @@ type Config struct {
 	// MaxBatchPairs caps the per-device batch regardless of free memory
 	// (useful to keep simulation memory bounded); zero means no extra cap.
 	MaxBatchPairs int
+
+	// StreamBatchPairs is the dispatch granularity of FilterStream: how many
+	// pairs accumulate before a batch is handed to a device. Smaller batches
+	// lower latency and spread load across devices; larger batches amortize
+	// the per-launch overhead. Zero picks a default, and values above the
+	// smallest per-device batch capacity are clamped to it.
+	StreamBatchPairs int
 }
 
 func (c *Config) applyDefaults() {
@@ -110,6 +135,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxE < 0 || c.MaxE > c.ReadLen {
 		return fmt.Errorf("gkgpu: error threshold %d outside [0,%d]", c.MaxE, c.ReadLen)
+	}
+	if c.StreamBatchPairs < 0 {
+		return fmt.Errorf("gkgpu: negative stream batch size %d", c.StreamBatchPairs)
 	}
 	return nil
 }

@@ -38,10 +38,16 @@ type reference struct {
 // SetReference encodes seq (multithreaded, as the paper does with OpenMP)
 // and loads it into every device's unified memory, recording 'N' locations.
 // It must be called before FilterCandidates and may be called again to
-// replace the reference.
+// replace the reference; it waits for any in-progress filtering call or
+// active stream, so the old reference is never freed under a running kernel.
 func (e *Engine) SetReference(seq []byte) error {
 	if len(seq) < e.cfg.ReadLen {
 		return fmt.Errorf("gkgpu: reference (%d) shorter than read length (%d)", len(seq), e.cfg.ReadLen)
+	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if len(e.states) == 0 {
+		return fmt.Errorf("gkgpu: engine is closed")
 	}
 	e.clearReference()
 
@@ -104,7 +110,7 @@ func (e *Engine) SetReference(seq []byte) error {
 		}
 		buf.HostWrite(0, len(raw))
 		buf.Advise(cuda.AdviseReadMostly)
-		buf.PrefetchAsync(st.streams[1])
+		buf.PrefetchAsync(st.sets[0].streams[1])
 		ref.bufs = append(ref.bufs, buf)
 	}
 	e.ref = ref
@@ -159,6 +165,11 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 				i, c.Pos, int(c.Pos)+L, e.ref.length)
 		}
 	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if len(e.states) == 0 {
+		return nil, fmt.Errorf("gkgpu: engine is closed")
+	}
 	wallStart := time.Now()
 
 	// Encode every read once ("it is sufficient to copy a single read only
@@ -177,11 +188,15 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 	}
 
 	results := make([]Result, len(cands))
-	nDev := len(e.states)
 	roundCap := 0
 	for _, st := range e.states {
 		roundCap += st.sys.BatchPairs
 	}
+
+	// As in FilterPairs, round stats and device telemetry accumulate locally
+	// and commit only after the per-device error check.
+	var acc Stats
+	var records []kernelRecord
 
 	for off := 0; off < len(cands); off += roundCap {
 		end := off + roundCap
@@ -189,23 +204,25 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 			end = len(cands)
 		}
 		round := cands[off:end]
-		share := (len(round) + nDev - 1) / nDev
+		// Timing model: the index path ships encoded reads only (the
+		// reference is already device-resident), i.e. the host-encoded
+		// transfer profile.
+		w := cuda.Workload{Pairs: len(round), ReadLen: L, E: errThreshold, DeviceEncoded: false}
+		shares := e.roundShares(len(round), w)
 		var wg sync.WaitGroup
-		errs := make([]error, nDev)
+		errs := make([]error, len(e.states))
+		lo := 0
 		for di, st := range e.states {
-			lo := di * share
-			if lo >= len(round) {
-				break
+			if shares[di] == 0 {
+				continue
 			}
-			hi := lo + share
-			if hi > len(round) {
-				hi = len(round)
-			}
+			hi := lo + shares[di]
 			wg.Add(1)
 			go func(di int, st *deviceState, chunk []Candidate, out []Result) {
 				defer wg.Done()
 				errs[di] = e.runCandidateBatch(st, di, chunk, readWords, readHasN, errThreshold, out)
 			}(di, st, round[lo:hi], results[off+lo:off+hi])
+			lo = hi
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -213,38 +230,19 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 				return nil, err
 			}
 		}
-		// Timing model: the index path ships encoded reads only (the
-		// reference is already device-resident), i.e. the host-encoded
-		// transfer profile.
-		w := cuda.Workload{Pairs: len(round), ReadLen: L, E: errThreshold, DeviceEncoded: false}
-		spec := e.states[0].dev.Spec
-		kt := e.cfg.Model.MultiGPUKernelSeconds(spec, w, nDev) + e.cfg.Model.PerLaunchSeconds
-		ft := e.cfg.Model.MultiGPUFilterSeconds(spec, w, nDev, e.cfg.Setup.HostFactor) +
-			e.cfg.Model.PerLaunchSeconds + e.cfg.Model.PerBatchHostSeconds
-		e.stats.KernelSeconds += kt
-		e.stats.FilterSeconds += ft
-		e.stats.Batches++
-		util := e.cfg.Model.Utilization(spec, w)
-		for di, st := range e.states {
-			if di*share < len(round) {
-				st.dev.RecordKernel(kt, util)
-			}
-		}
+		rc := e.modelRound(shares, w)
+		acc.KernelSeconds += rc.kernel
+		acc.FilterSeconds += rc.filter
+		acc.Batches++
+		records = append(records, rc.records...)
 	}
 
-	for i := range results {
-		e.stats.Pairs++
-		switch {
-		case results[i].Undefined:
-			e.stats.Undefined++
-			e.stats.Accepted++
-		case results[i].Accept:
-			e.stats.Accepted++
-		default:
-			e.stats.Rejected++
-		}
+	acc.countDecisions(results)
+	acc.WallSeconds = time.Since(wallStart).Seconds()
+	for _, r := range records {
+		r.dev.RecordKernel(r.kt, r.util)
 	}
-	e.stats.WallSeconds += time.Since(wallStart).Seconds()
+	e.commitStats(acc)
 	return results, nil
 }
 

@@ -1,0 +1,373 @@
+package gkgpu
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// defaultStreamBatchPairs is the dispatch granularity when the configuration
+// does not set one: large enough to amortize the per-launch overhead, small
+// enough that a stream spreads across devices quickly.
+const defaultStreamBatchPairs = 1 << 14
+
+// streamOutBuffer is the result channel's capacity; it decouples the
+// consumer from the reorder stage without unbounding memory.
+const streamOutBuffer = 1 << 10
+
+// streamLinger is how long the dispatcher waits for more pairs after a batch
+// opens before flushing it partially filled. It trades a bounded latency for
+// full batches: a saturating producer fills the batch long before the linger
+// elapses, while a trickle stream still flushes promptly instead of paying
+// the per-launch overhead on single-pair batches.
+const streamLinger = 2 * time.Millisecond
+
+// streamBatch carries one dispatch unit through the pipeline: from the
+// dispatcher, to a device's encode stage, to its launch stage, to the
+// reorder collector that emits results in input order.
+type streamBatch struct {
+	seq   int
+	pairs []Pair
+	res   []Result
+	err   error
+
+	// Modelled timing, filled by the device that ran the batch. Telemetry is
+	// not committed here: the collector folds it in sequence order so an
+	// aborted stream counts nothing from the failed batch onward.
+	devIdx    int
+	kernelSec float64 // kernel + launch overhead, the CUDA-event clock
+	busySec   float64 // pipelined busy time (max of encode and kernel stage)
+	prepSec   float64 // host-encode share after the worker-pool speedup
+	xferSec   float64 // PCIe share
+	util      float64 // modelled compute utilization, for the power trace
+}
+
+// streamTally aggregates a stream's per-device modelled clocks; the stream's
+// kernel and filter time are the clocks of the device that takes the longest,
+// exactly as the paper treats multi-GPU rounds.
+type streamTally struct {
+	kernel, busy, prep, xfer []float64
+	decisions                Stats
+	records                  []kernelRecord
+	err                      error // first launch failure, if any
+}
+
+// FilterStream filters pairs arriving on in at the given threshold and
+// returns a channel of results in input order (the order pairs are received
+// from in, which many producer goroutines may feed concurrently). Each
+// device runs an asynchronous double-buffered pipeline: while its kernel
+// consumes one buffer set, the host-encode worker pool fills the other, so
+// host preparation hides behind kernel execution instead of preceding it.
+// Batches are bounded in flight — two per device, the buffer sets — so a
+// slow consumer exerts backpressure all the way to the producers.
+//
+// Decisions are identical to FilterPairs. Unlike FilterPairs, which rejects
+// the whole call, a pair whose lengths do not match the compiled geometry is
+// reported as Undefined+Accept (the engine's defensive pass-to-verification
+// convention) so the stream keeps its ordering slot. Cancelling ctx stops
+// dispatch and closes the result channel after in-flight batches drain;
+// results not yet emitted are dropped. The channel closes when in is closed
+// and every result has been emitted. A kernel launch failure aborts the
+// stream as FilterPairs' error return would: emission stops at the failed
+// batch, nothing from it onward is counted, and the error is available from
+// StreamErr after the channel closes. An engine runs one stream or one
+// FilterPairs call at a time; concurrent calls serialize on the device
+// buffers.
+func (e *Engine) FilterStream(ctx context.Context, in <-chan Pair, errThreshold int) (<-chan Result, error) {
+	if errThreshold < 0 || errThreshold > e.cfg.MaxE {
+		return nil, fmt.Errorf("gkgpu: threshold %d outside compiled [0,%d]", errThreshold, e.cfg.MaxE)
+	}
+	out := make(chan Result, streamOutBuffer)
+	go e.runStream(ctx, in, errThreshold, out)
+	return out, nil
+}
+
+// StreamErr returns the terminal error of the most recently completed
+// stream, or nil. A stream whose result channel closed before every input
+// pair was answered either was cancelled (ctx) or failed; StreamErr
+// distinguishes the two.
+func (e *Engine) StreamErr() error {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.streamErr
+}
+
+// streamBatchPairs resolves the dispatch granularity against the smallest
+// per-device capacity.
+func (e *Engine) streamBatchPairs() int {
+	minCap := e.states[0].sys.BatchPairs
+	for _, st := range e.states[1:] {
+		if st.sys.BatchPairs < minCap {
+			minCap = st.sys.BatchPairs
+		}
+	}
+	b := e.cfg.StreamBatchPairs
+	if b == 0 {
+		b = defaultStreamBatchPairs
+	}
+	if b > minCap {
+		b = minCap
+	}
+	return b
+}
+
+// runStream owns a stream's lifetime: dispatching batches, fanning them out
+// to the per-device pipelines, reordering completions, and committing stats.
+func (e *Engine) runStream(ctx context.Context, in <-chan Pair, errThreshold int, out chan<- Result) {
+	defer close(out)
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if len(e.states) == 0 {
+		e.statsMu.Lock()
+		e.streamErr = fmt.Errorf("gkgpu: engine is closed")
+		e.statsMu.Unlock()
+		return
+	}
+
+	wallStart := time.Now()
+	nDev := len(e.states)
+	batchCap := e.streamBatchPairs()
+
+	// dispatch is unbuffered: a batch is accepted only when some device has
+	// a free buffer set, which bounds in-flight work to two batches per
+	// device. completed has room for every batch that can be in flight so
+	// device pipelines never stall on the collector.
+	dispatch := make(chan *streamBatch)
+	completed := make(chan *streamBatch, bufferSets*nDev+1)
+
+	var workers sync.WaitGroup
+	for di, st := range e.states {
+		workers.Add(1)
+		go func(di int, st *deviceState) {
+			defer workers.Done()
+			e.streamWorker(di, st, errThreshold, dispatch, completed)
+		}(di, st)
+	}
+
+	// Reorder collector: emit batches in sequence order, input order within
+	// each batch. After cancellation or a launch failure it keeps draining
+	// completions (so the device pipelines can finish) without emitting;
+	// aborted tells the dispatcher to stop accepting input on failure.
+	tallyCh := make(chan streamTally, 1)
+	aborted := make(chan struct{})
+	go func() {
+		tally := streamTally{
+			kernel: make([]float64, nDev),
+			busy:   make([]float64, nDev),
+			prep:   make([]float64, nDev),
+			xfer:   make([]float64, nDev),
+		}
+		pending := make(map[int]*streamBatch)
+		next := 0
+		canceled, failed := false, false
+		for b := range completed {
+			pending[b.seq] = b
+			for {
+				nb, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if nb.err != nil && !failed {
+					// A launch failure aborts the stream like FilterPairs'
+					// error return: nothing from the failed batch onward is
+					// emitted or counted; the error surfaces via StreamErr.
+					tally.err = nb.err
+					failed = true
+					close(aborted)
+				}
+				if failed {
+					continue
+				}
+				// Clocks, decisions, and device telemetry tally here, in
+				// sequence order, so a failure cleanly cuts the stats at
+				// the failed batch.
+				tally.kernel[nb.devIdx] += nb.kernelSec
+				tally.busy[nb.devIdx] += nb.busySec
+				tally.prep[nb.devIdx] += nb.prepSec
+				tally.xfer[nb.devIdx] += nb.xferSec
+				tally.decisions.Batches++
+				tally.decisions.countDecisions(nb.res)
+				tally.records = append(tally.records, kernelRecord{
+					dev: e.states[nb.devIdx].dev, kt: nb.kernelSec, util: nb.util})
+				if canceled {
+					continue
+				}
+				for _, r := range nb.res {
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						canceled = true
+					}
+					if canceled {
+						break
+					}
+				}
+			}
+		}
+		tallyCh <- tally
+	}()
+
+	// Dispatcher: group incoming pairs into batches. The first pair of a
+	// batch is awaited indefinitely; once a batch is open it fills until
+	// full or until the linger window elapses, so a saturated stream ships
+	// whole batches while a sparse one still flushes with bounded latency.
+	seq := 0
+	var batch []Pair
+	linger := time.NewTimer(streamLinger)
+	if !linger.Stop() {
+		<-linger.C
+	}
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		b := &streamBatch{seq: seq, pairs: batch, res: make([]Result, len(batch))}
+		seq++
+		batch = nil
+		select {
+		case dispatch <- b:
+			return true
+		case <-ctx.Done():
+			return false
+		case <-aborted:
+			return false
+		}
+	}
+receive:
+	for {
+		select {
+		case p, ok := <-in:
+			if !ok {
+				break receive
+			}
+			batch = append(batch, p)
+		case <-ctx.Done():
+			break receive
+		case <-aborted:
+			break receive
+		}
+		linger.Reset(streamLinger)
+	drain:
+		for len(batch) < batchCap {
+			select {
+			case p, ok := <-in:
+				if !ok {
+					if !linger.Stop() {
+						<-linger.C
+					}
+					break receive
+				}
+				batch = append(batch, p)
+			case <-ctx.Done():
+				if !linger.Stop() {
+					<-linger.C
+				}
+				break receive
+			case <-linger.C:
+				break drain
+			}
+		}
+		if len(batch) >= batchCap {
+			if !linger.Stop() {
+				<-linger.C
+			}
+		}
+		if !flush() {
+			break receive
+		}
+	}
+	if ctx.Err() == nil {
+		flush()
+	}
+	close(dispatch)
+	workers.Wait()
+	close(completed)
+	tally := <-tallyCh
+
+	// Commit the stream's modelled clocks: the device that stayed busy the
+	// longest is the stream's critical path.
+	acc := tally.decisions
+	acc.KernelSeconds = maxFloat(tally.kernel)
+	acc.FilterSeconds = maxFloat(tally.busy)
+	acc.HostPrepSeconds = maxFloat(tally.prep)
+	acc.TransferSeconds = maxFloat(tally.xfer)
+	acc.WallSeconds = time.Since(wallStart).Seconds()
+	for _, r := range tally.records {
+		r.dev.RecordKernel(r.kt, r.util)
+	}
+	e.statsMu.Lock()
+	e.streamErr = tally.err
+	e.statsMu.Unlock()
+	e.commitStats(acc)
+}
+
+// streamWorker is one device's half of the pipeline: an encode stage (this
+// goroutine) and a launch stage (a nested goroutine) connected by the two
+// buffer sets. While the launcher runs the kernel over one set, the encoder
+// fills the other — the double-buffered overlap the stream models.
+func (e *Engine) streamWorker(di int, st *deviceState, errThreshold int,
+	dispatch <-chan *streamBatch, completed chan<- *streamBatch) {
+
+	type work struct {
+		set *bufferSet
+		b   *streamBatch
+	}
+	free := make(chan *bufferSet, len(st.sets))
+	for _, set := range st.sets {
+		free <- set
+	}
+	ready := make(chan work)
+	launcherDone := make(chan struct{})
+	go func() {
+		defer close(launcherDone)
+		for wk := range ready {
+			b := wk.b
+			b.err = e.launchDecode(st, wk.set, len(b.pairs), errThreshold, b.res)
+			if b.err == nil {
+				e.tallyBatch(st, di, b, errThreshold)
+			}
+			free <- wk.set
+			completed <- b
+		}
+	}()
+	for b := range dispatch {
+		set := <-free
+		e.encodeChunk(st, set, b.pairs)
+		e.prefetch(st, set)
+		ready <- work{set: set, b: b}
+	}
+	close(ready)
+	<-launcherDone
+}
+
+// tallyBatch fills a completed batch's modelled clocks for the device that
+// ran it; the collector commits them (and the device telemetry) only for
+// batches before any failure. The encode-pool width comes from the modelled
+// Setup, not the simulating machine, so the clocks are reproducible anywhere.
+func (e *Engine) tallyBatch(st *deviceState, di int, b *streamBatch, errThreshold int) {
+	w := e.workload(len(b.pairs), errThreshold)
+	m := e.cfg.Model
+	encWorkers := e.cfg.Setup.EncodeWorkers
+	if encWorkers < 1 {
+		encWorkers = 1
+	}
+	b.devIdx = di
+	b.kernelSec = m.KernelSeconds(st.dev.Spec, w) + m.PerLaunchSeconds
+	b.busySec = m.PipelinedFilterSeconds(st.dev.Spec, w, encWorkers, e.cfg.Setup.HostFactor)
+	b.prepSec = m.HostPrepSeconds(w, e.cfg.Setup.HostFactor) / m.EncodePoolSpeedup(encWorkers)
+	b.xferSec = m.TransferSeconds(st.dev.Spec, w)
+	b.util = m.Utilization(st.dev.Spec, w)
+}
+
+func maxFloat(xs []float64) float64 {
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}

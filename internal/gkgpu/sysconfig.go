@@ -50,10 +50,11 @@ func Configure(spec cuda.DeviceSpec, readLen, maxE int, encoding EncodingActor,
 	threadLoad += perPair
 
 	// Batch size: fill 80% of free global memory with pair buffers, leaving
-	// headroom for the driver and per-thread stacks; cap to the caller's
-	// simulation bound; round down to a whole number of blocks so the last
-	// block is the only ragged one.
-	budget := int64(float64(spec.GlobalMemBytes) * 0.8)
+	// headroom for the driver and per-thread stacks; divide by the number of
+	// buffer sets the engine allocates (double buffering for the streaming
+	// path); cap to the caller's simulation bound; round down to a whole
+	// number of blocks so the last block is the only ragged one.
+	budget := int64(float64(spec.GlobalMemBytes) * 0.8 / bufferSets)
 	batch := int(budget / int64(perPair))
 	if maxBatchPairs > 0 && batch > maxBatchPairs {
 		batch = maxBatchPairs

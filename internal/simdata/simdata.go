@@ -57,6 +57,9 @@ var Sets = map[string]Profile{
 	"set1": {Name: "Set 1 (100bp low-edit)", ReadLen: 100, SeedE: 2, CloseFrac: 0.02,
 		CloseMax: 5, RandomFrac: 0.80, FarMin: 4, FarMax: 30, IndelFrac: 0.25, UndefinedRate: 28009.0 / 30e6,
 		SeededCandidates: true, PaperPairs: 30_000_000},
+	"set2": {Name: "Set 2 (100bp, mrFAST e=3)", ReadLen: 100, SeedE: 3, CloseFrac: 0.04,
+		CloseMax: 8, RandomFrac: 0.80, FarMin: 6, FarMax: 32, IndelFrac: 0.25, UndefinedRate: 30716.0 / 30e6,
+		SeededCandidates: true, PaperPairs: 30_000_000},
 	"set3": {Name: "Set 3 (100bp, mrFAST e=5)", ReadLen: 100, SeedE: 5, CloseFrac: 0.06,
 		CloseMax: 11, RandomFrac: 0.80, FarMin: 8, FarMax: 35, IndelFrac: 0.25, UndefinedRate: 92414.0 / 30e6,
 		SeededCandidates: true, PaperPairs: 30_000_000},
