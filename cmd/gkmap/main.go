@@ -6,10 +6,20 @@
 // synthesizes both instead, which is how the paper-scale experiments run
 // without redistributable data.
 //
+// With -stream, reads map through Mapper.MapStream — the overlapped
+// seeding → filter-stream → verification pipeline — instead of the one-shot
+// phases, and the pipeline-overlap accounting is reported. With -paired,
+// mate pairs (synthesized FR pairs under -sim, or -reads-file plus -reads2)
+// map through the streaming pipeline and concordant pairs are resolved
+// against the insert window.
+//
 // Usage:
 //
 //	gkmap -sim -genome 500000 -reads 5000 -e 5 -prefilter gpu
+//	gkmap -sim -stream -reads 5000 -e 5
+//	gkmap -sim -paired -reads 2000 -insert-mean 400 -insert-std 40
 //	gkmap -ref ref.fa -reads-file reads.fq -e 3 -prefilter none -sam out.sam
+//	gkmap -ref ref.fa -reads-file r1.fq -reads2 r2.fq -paired -e 4
 package main
 
 import (
@@ -41,13 +51,38 @@ func main() {
 		samOut    = flag.String("sam", "", "write mappings as SAM to this file")
 		strands   = flag.Bool("both-strands", false, "also map reverse complements")
 		seed      = flag.Int64("seed", 42, "simulation seed")
+		stream    = flag.Bool("stream", false, "map through the streaming pipeline (MapStream)")
+		paired    = flag.Bool("paired", false, "paired-end mapping through the streaming pipeline")
+		reads2    = flag.String("reads2", "", "mate FASTQ for -paired (when not -sim)")
+		workers   = flag.Int("workers", 0, "streaming worker pools size (0 = GOMAXPROCS)")
+		insMean   = flag.Int("insert-mean", 400, "simulated mean fragment length (-paired -sim)")
+		insStd    = flag.Int("insert-std", 40, "simulated fragment length std dev (-paired -sim)")
+		insMin    = flag.Int("insert-min", 0, "insert window minimum (0 = mean - 4 std)")
+		insMax    = flag.Int("insert-max", 0, "insert window maximum (0 = mean + 4 std)")
 	)
 	flag.Parse()
+	if *paired && *samOut != "" {
+		fatal(fmt.Errorf("-sam supports single-end output only"))
+	}
 
 	var genome []byte
 	var seqs [][]byte
+	var pairs []mapper.ReadPair
 	refName := "chrSim"
 	switch {
+	case *sim && *paired:
+		cfg := simdata.DefaultGenomeConfig(*genomeLen)
+		cfg.Seed = *seed
+		genome = simdata.Genome(cfg)
+		profile := simdata.Illumina100
+		profile.Length = *readLen
+		simPairs, err := simdata.SimulatePairs(genome, profile, *nReads, *insMean, *insStd, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range simPairs {
+			pairs = append(pairs, mapper.ReadPair{R1: p.R1.Seq, R2: p.R2.Seq})
+		}
 	case *sim:
 		cfg := simdata.DefaultGenomeConfig(*genomeLen)
 		cfg.Seed = *seed
@@ -91,12 +126,34 @@ func main() {
 		if len(seqs) > 0 {
 			*readLen = len(seqs[0])
 		}
+		if *paired {
+			if *reads2 == "" {
+				fatal(fmt.Errorf("-paired file mode needs -reads2"))
+			}
+			qf2, err := os.Open(*reads2)
+			if err != nil {
+				fatal(err)
+			}
+			mates, err := dna.ReadFASTQ(qf2)
+			qf2.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if len(mates) != len(seqs) {
+				fatal(fmt.Errorf("%d reads in %s but %d mates in %s",
+					len(seqs), *readsFile, len(mates), *reads2))
+			}
+			for i, m := range mates {
+				pairs = append(pairs, mapper.ReadPair{R1: seqs[i], R2: m.Seq})
+			}
+			seqs = nil
+		}
 	default:
 		fatal(fmt.Errorf("provide -sim, or both -ref and -reads-file"))
 	}
 
 	cfg := mapper.Config{ReadLen: *readLen, MaxE: *e, MaxReadsPerBatch: *batch,
-		BothStrands: *strands, Traceback: *samOut != ""}
+		BothStrands: *strands, Traceback: *samOut != "", StreamWorkers: *workers}
 	switch *preFilter {
 	case "gpu":
 		enc := gkgpu.EncodeOnDevice
@@ -126,11 +183,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	mappings, st, err := m.MapReads(seqs, *e)
+	var mappings []mapper.Mapping
+	var resolved []mapper.PairMapping
+	var st mapper.Stats
+	switch {
+	case *paired:
+		lo, hi := *insMin, *insMax
+		if lo == 0 {
+			lo = *insMean - 4**insStd
+		}
+		if lo < *readLen {
+			lo = *readLen
+		}
+		if hi == 0 {
+			hi = *insMean + 4**insStd
+		}
+		resolved, st, err = m.MapPairs(pairs, *e, mapper.InsertWindow{Min: lo, Max: hi})
+	case *stream:
+		mappings, st, err = m.MapStream(seqs, *e)
+	default:
+		mappings, st, err = m.MapReads(seqs, *e)
+	}
 	if err != nil {
 		fatal(err)
 	}
 
+	if *paired {
+		fmt.Printf("read pairs:          %s\n", metrics.FmtInt(st.ReadPairs))
+		fmt.Printf("concordant pairs:    %s (%.1f%%)\n", metrics.FmtInt(st.ConcordantPairs),
+			100*float64(st.ConcordantPairs)/float64(max(st.ReadPairs, 1)))
+	}
 	fmt.Printf("reads:               %s\n", metrics.FmtInt(st.Reads))
 	fmt.Printf("candidate mappings:  %s\n", metrics.FmtInt(st.CandidatePairs))
 	fmt.Printf("verification pairs:  %s\n", metrics.FmtInt(st.VerificationPairs))
@@ -144,6 +226,19 @@ func main() {
 	fmt.Printf("filter kernel model: %.4fs\n", st.FilterKernelModel)
 	fmt.Printf("verification:        %.3fs\n", st.VerifySeconds)
 	fmt.Printf("total:               %.3fs\n", st.TotalSeconds)
+	if st.PipelineWallSeconds > 0 {
+		fmt.Printf("pipeline wall:       %.3fs (stage seconds %.3fs, overlap hidden %.3fs)\n",
+			st.PipelineWallSeconds, st.StageSeconds(), st.OverlapSeconds())
+	}
+	if *paired {
+		var insSum int64
+		for _, pm := range resolved {
+			insSum += int64(pm.Insert)
+		}
+		if len(resolved) > 0 {
+			fmt.Printf("mean insert:         %d\n", insSum/int64(len(resolved)))
+		}
+	}
 
 	if *samOut != "" {
 		fh, err := os.Create(*samOut)

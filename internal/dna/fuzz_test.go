@@ -1,0 +1,67 @@
+package dna
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDNAEncodeRoundTrip drives the 2-bit codec with arbitrary byte
+// sequences: encoding must reject exactly the sequences containing unknown
+// base calls (the 'N' handling every pipeline layer leans on), and for
+// clean sequences Decode and BaseAt must invert Encode up to case
+// normalization — the packing contract the kernel's word arithmetic
+// assumes.
+func FuzzDNAEncodeRoundTrip(f *testing.F) {
+	f.Add([]byte("ACGT"))
+	f.Add([]byte("acgtACGT"))
+	f.Add([]byte("ACGTNACGT"))
+	f.Add([]byte(""))
+	f.Add([]byte("TTTTTTTTTTTTTTTTT")) // crosses a word boundary
+	f.Add([]byte("ACGTXacgt"))
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		if len(seq) > 4096 {
+			seq = seq[:4096]
+		}
+		hasN := HasN(seq)
+		if (Validate(seq) == nil) == hasN {
+			t.Fatalf("Validate and HasN disagree on %q", seq)
+		}
+		words, err := Encode(seq)
+		if hasN {
+			if err == nil {
+				t.Fatalf("Encode accepted a sequence with an unknown base: %q", seq)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Encode rejected a clean sequence %q: %v", seq, err)
+		}
+		if len(words) != WordsFor(len(seq)) {
+			t.Fatalf("Encode produced %d words for %d bases, want %d",
+				len(words), len(seq), WordsFor(len(seq)))
+		}
+		want := Upper(append([]byte(nil), seq...))
+		if got := Decode(words, len(seq)); !bytes.Equal(got, want) {
+			t.Fatalf("round trip: got %q, want %q", got, want)
+		}
+		for i := range want {
+			if BaseAt(words, i) != want[i] {
+				t.Fatalf("BaseAt(%d) = %c, want %c", i, BaseAt(words, i), want[i])
+			}
+		}
+		// EncodeInto must agree with Encode and zero the tail bits it does
+		// not use, so buffers can be reused across sequences.
+		buf := make([]uint32, WordsFor(len(seq))+2)
+		for i := range buf {
+			buf[i] = ^uint32(0)
+		}
+		if err := EncodeInto(buf, seq); err != nil {
+			t.Fatalf("EncodeInto rejected a clean sequence: %v", err)
+		}
+		for i, w := range words {
+			if buf[i] != w {
+				t.Fatalf("EncodeInto word %d = %#x, Encode word = %#x", i, buf[i], w)
+			}
+		}
+	})
+}

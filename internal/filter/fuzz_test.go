@@ -1,0 +1,70 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+)
+
+// FuzzKernelFilterEncoded drives the improved GateKeeper kernel with
+// arbitrary sequence pairs and thresholds. The two fuzzed invariants are
+// the kernel's load-bearing guarantees: it must never panic for any
+// geometry the engine can configure, and it must never falsely reject — a
+// pair whose exact edit distance is within threshold always passes to
+// verification (the paper's Section 5.1 invariant, here pushed beyond the
+// curated datasets onto adversarial inputs). The raw-byte FilterChecked
+// path must also agree with the pre-encoded path the engine uses.
+func FuzzKernelFilterEncoded(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGT"), []byte("ACGTACGTACGAACGTACGT"), uint8(2))
+	f.Add([]byte("AAAAAAAAAAAAAAAAA"), []byte("TTTTTTTTTTTTTTTTT"), uint8(0))
+	f.Add([]byte("ACACACACACACACACACACACACACACACAC"), []byte("CACACACACACACACACACACACACACACACA"), uint8(5))
+	f.Add([]byte{0x00, 0xFF, 0x7F, 0x80, 0x01}, []byte{0xFF, 0x00, 0x80, 0x7F, 0x02}, uint8(9))
+	f.Fuzz(func(t *testing.T, rawRead, rawRef []byte, e8 uint8) {
+		L := len(rawRead)
+		if len(rawRef) < L {
+			L = len(rawRef)
+		}
+		if L == 0 {
+			return
+		}
+		if L > 300 {
+			L = 300 // beyond the paper's longest reads; keeps iterations fast
+		}
+		// Map arbitrary bytes onto the alphabet so the pair is well formed;
+		// the encoding layer's own 'N' handling is FuzzDNAEncodeRoundTrip's
+		// business.
+		read := make([]byte, L)
+		ref := make([]byte, L)
+		for i := 0; i < L; i++ {
+			read[i] = dna.Alphabet[rawRead[i]&3]
+			ref[i] = dna.Alphabet[rawRef[i]&3]
+		}
+		e := int(e8) % (L + 1)
+
+		kern := NewKernel(ModeGPU, L, e)
+		readEnc, err := dna.Encode(read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refEnc, err := dna.Encode(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, accept := kern.FilterEncoded(readEnc, refEnc, e)
+		if est < 0 {
+			t.Fatalf("negative estimate %d", est)
+		}
+		if d := align.Distance(read, ref); d <= e && !accept {
+			t.Fatalf("false reject: L=%d e=%d true distance %d estimate %d", L, e, d, est)
+		}
+		checked, err := kern.FilterChecked(read, ref, e)
+		if err != nil {
+			t.Fatalf("FilterChecked rejected kernel geometry: %v", err)
+		}
+		if checked.Accept != accept || checked.Estimate != est {
+			t.Fatalf("raw-byte path drifted from encoded path: %+v vs est=%d accept=%v",
+				checked, est, accept)
+		}
+	})
+}

@@ -53,8 +53,14 @@ func (shouji) Filter(read, ref []byte, e int) Decision {
 				bestZeros, best = zeros, m
 			}
 		}
-		// Copy it in only if it improves on what is already recorded, which
-		// keeps the selected common subsequences non-overlapping.
+		// Record it only if it improves on what is already recorded, and
+		// merge rather than overwrite: a zero (match) once found is never
+		// flipped back to one. Overwriting the whole window would let a
+		// later window's diagonal clobber matches recorded by an earlier
+		// one near the window boundary, overcounting the edits of an
+		// indel-bearing alignment — a false reject, which Shouji by
+		// construction must never produce (its selected common
+		// subsequences only ever under-count the true edit count).
 		existing := 0
 		for i := j; i < hi; i++ {
 			if !sb[i] {
@@ -63,7 +69,7 @@ func (shouji) Filter(read, ref []byte, e int) Decision {
 		}
 		if bestZeros > existing {
 			for i := j; i < hi; i++ {
-				sb[i] = best[i]
+				sb[i] = sb[i] && best[i]
 			}
 		}
 	}

@@ -25,6 +25,14 @@
 // concurrent producers feeding one input channel. Decisions are identical
 // between the two paths; only the modelled timing differs, because the
 // streaming pipeline hides host work behind kernel execution.
+//
+// Both execution styles exist for the index-named mrFAST integration too:
+// Engine.FilterCandidates is the one-shot path over (read, location)
+// candidates against the unified-memory reference loaded by SetReference,
+// and Engine.FilterCandidateStream is its streaming counterpart — the same
+// double-buffered per-device pipeline, with reads packed into the buffer
+// sets on the host and reference segments extracted by the kernel from the
+// device-resident encoded reference.
 package gkgpu
 
 import (

@@ -1,6 +1,7 @@
 package gkgpu
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -244,6 +245,154 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 	}
 	e.commitStats(acc)
 	return results, nil
+}
+
+// StreamCandidate names one streaming filtration against the loaded
+// reference: the read sequence itself and the reference window offset.
+// Unlike FilterCandidates' (ReadID, Pos) naming, the stream carries the read
+// bytes directly — concurrent producers need no shared read numbering —
+// while the reference side still comes from the unified-memory encoded
+// reference, so a window's bases are never materialized on the host.
+type StreamCandidate struct {
+	Read []byte
+	Pos  int32
+}
+
+// FilterCandidateStream is FilterStream for index-named candidates: the
+// mrFAST integration path (Section 3.5) taken asynchronous. Candidates
+// arriving on in are filtered against the reference loaded by SetReference,
+// with each device running the same double-buffered encode/launch pipeline
+// as FilterStream — the host pool packs reads into one buffer set while the
+// kernel extracts reference segments for the other — and results return in
+// input order.
+//
+// Decisions are identical to FilterCandidates. Where FilterCandidates
+// rejects a whole call for an out-of-range window or wrong-length read, a
+// streaming candidate keeps its ordering slot and is reported as
+// Undefined+Accept (the defensive pass-to-verification convention), exactly
+// like a wrong-length pair on FilterStream. Cancellation, failure, and
+// StreamErr semantics match FilterStream. Do not call SetReference while a
+// candidate stream is active (it would block until the stream drains).
+func (e *Engine) FilterCandidateStream(ctx context.Context, in <-chan StreamCandidate, errThreshold int) (<-chan Result, error) {
+	if e.ref == nil {
+		return nil, fmt.Errorf("gkgpu: FilterCandidateStream before SetReference")
+	}
+	if errThreshold < 0 || errThreshold > e.cfg.MaxE {
+		return nil, fmt.Errorf("gkgpu: threshold %d outside compiled [0,%d]", errThreshold, e.cfg.MaxE)
+	}
+	L := e.cfg.ReadLen
+	out := make(chan Result, streamOutBuffer)
+	go runStream(e, ctx, in, errThreshold, out, streamOps[StreamCandidate]{
+		encode: e.encodeCandidateChunk,
+		launch: e.launchCandidateBatch,
+		workload: func(n, errThreshold int) cuda.Workload {
+			// The index path ships encoded reads only (the reference is
+			// already device-resident): the host-encoded transfer profile,
+			// as in FilterCandidates.
+			return cuda.Workload{Pairs: n, ReadLen: L, E: errThreshold, DeviceEncoded: false}
+		},
+	})
+	return out, nil
+}
+
+// encodeCandidateChunk is the candidate stream's host-side encode stage:
+// pack each candidate's read into the set's read buffer (2-bit, host
+// encoded), mark undefined or out-of-geometry candidates in the flag
+// buffer, and submit the prefetches. The reference buffer is untouched —
+// it is the engine-lifetime unified-memory reference.
+func (e *Engine) encodeCandidateChunk(st *deviceState, set *bufferSet, items []StreamCandidate) {
+	n := len(items)
+	L := e.cfg.ReadLen
+	encWords := bitvec.EncodedWords(L)
+	flags := set.flagBuf.Bytes()
+	rb := set.readBuf.Bytes()
+	ref := e.ref
+
+	workers := len(st.encWords)
+	if workers > n {
+		workers = n
+	}
+	stride := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * stride
+		if lo >= n {
+			break
+		}
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			words := st.encWords[wk]
+			for i := lo; i < hi; i++ {
+				c := items[i]
+				// Out-of-geometry candidates (FilterCandidates' validation
+				// errors) and 'N'-touched candidates both flag undefined:
+				// the former defensively, the latter by design.
+				if len(c.Read) != L || c.Pos < 0 || int(c.Pos)+L > ref.length ||
+					ref.windowHasN(c.Pos, int32(L)) || dna.EncodeInto(words, c.Read) != nil {
+					flags[i] = 1
+					continue
+				}
+				for w, v := range words {
+					binary.LittleEndian.PutUint32(rb[(i*encWords+w)*4:], v)
+				}
+				flags[i] = 0
+			}
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+
+	set.readBuf.HostWrite(0, n*encWords*4)
+	set.flagBuf.HostWrite(0, n)
+	set.readBuf.PrefetchAsync(set.streams[0])
+	set.flagBuf.PrefetchAsync(set.streams[2])
+	if !st.dev.Spec.SupportsPrefetch() {
+		set.readBuf.DeviceTouch(0, set.readBuf.Len())
+	}
+}
+
+// launchCandidateBatch is the candidate stream's device-side stage: the
+// kernel reads each packed read from the buffer set and extracts its
+// reference segment from the device-resident encoded reference by index, as
+// runCandidateBatch does for the one-shot path.
+func (e *Engine) launchCandidateBatch(st *deviceState, devIdx int, set *bufferSet,
+	items []StreamCandidate, errThreshold int, out []Result) error {
+
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	L := e.cfg.ReadLen
+	encWords := bitvec.EncodedWords(L)
+	flags := set.flagBuf.Bytes()
+	rb := set.readBuf.Bytes()
+	refBuf := e.ref.bufs[devIdx]
+	refRaw := refBuf.Bytes()
+	refBuf.DeviceTouch(0, refBuf.Len()) // on-demand migration on Kepler
+
+	lc := st.sys.Launch
+	if need := (n + lc.ThreadsPerBlock - 1) / lc.ThreadsPerBlock; need < lc.Blocks {
+		lc.Blocks = need
+	}
+	return st.dev.Launch(lc, n, func(worker, tid int) {
+		if flags[tid] == 1 {
+			out[tid] = Result{Accept: true, Undefined: true}
+			return
+		}
+		rw := st.readWords[worker]
+		base := tid * encWords * 4
+		for w := 0; w < encWords; w++ {
+			rw[w] = binary.LittleEndian.Uint32(rb[base+w*4:])
+		}
+		fw := st.refWords[worker]
+		extractFromRaw(fw, refRaw, int(items[tid].Pos), L)
+		est, accept := st.kernels[worker].FilterEncoded(rw, fw, errThreshold)
+		out[tid] = Result{Accept: accept, Estimate: uint16(est)}
+	})
 }
 
 // runCandidateBatch executes one device's share of an index-named round.

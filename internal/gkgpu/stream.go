@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/cuda"
 )
 
 // defaultStreamBatchPairs is the dispatch granularity when the configuration
@@ -25,10 +27,12 @@ const streamLinger = 2 * time.Millisecond
 
 // streamBatch carries one dispatch unit through the pipeline: from the
 // dispatcher, to a device's encode stage, to its launch stage, to the
-// reorder collector that emits results in input order.
-type streamBatch struct {
+// reorder collector that emits results in input order. The item type is the
+// stream's input unit: materialized Pairs on the FilterStream path,
+// index-named StreamCandidates on the FilterCandidateStream path.
+type streamBatch[T any] struct {
 	seq   int
-	pairs []Pair
+	items []T
 	res   []Result
 	err   error
 
@@ -41,6 +45,16 @@ type streamBatch struct {
 	prepSec   float64 // host-encode share after the worker-pool speedup
 	xferSec   float64 // PCIe share
 	util      float64 // modelled compute utilization, for the power trace
+}
+
+// streamOps specializes the generic streaming pipeline to one input type.
+// encode is the host-side stage (fill a buffer set, submit prefetches);
+// launch is the device-side stage (kernel over the encoded set, results into
+// res); workload shapes the cost model for a batch.
+type streamOps[T any] struct {
+	encode   func(st *deviceState, set *bufferSet, items []T)
+	launch   func(st *deviceState, devIdx int, set *bufferSet, items []T, errThreshold int, res []Result) error
+	workload func(n, errThreshold int) cuda.Workload
 }
 
 // streamTally aggregates a stream's per-device modelled clocks; the stream's
@@ -79,7 +93,16 @@ func (e *Engine) FilterStream(ctx context.Context, in <-chan Pair, errThreshold 
 		return nil, fmt.Errorf("gkgpu: threshold %d outside compiled [0,%d]", errThreshold, e.cfg.MaxE)
 	}
 	out := make(chan Result, streamOutBuffer)
-	go e.runStream(ctx, in, errThreshold, out)
+	go runStream(e, ctx, in, errThreshold, out, streamOps[Pair]{
+		encode: func(st *deviceState, set *bufferSet, items []Pair) {
+			e.encodeChunk(st, set, items)
+			e.prefetch(st, set)
+		},
+		launch: func(st *deviceState, _ int, set *bufferSet, items []Pair, errThreshold int, res []Result) error {
+			return e.launchDecode(st, set, len(items), errThreshold, res)
+		},
+		workload: e.workload,
+	})
 	return out, nil
 }
 
@@ -114,7 +137,9 @@ func (e *Engine) streamBatchPairs() int {
 
 // runStream owns a stream's lifetime: dispatching batches, fanning them out
 // to the per-device pipelines, reordering completions, and committing stats.
-func (e *Engine) runStream(ctx context.Context, in <-chan Pair, errThreshold int, out chan<- Result) {
+// It is generic over the stream's input unit; ops provides the per-device
+// encode/launch stages and the cost-model workload shape.
+func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold int, out chan<- Result, ops streamOps[T]) {
 	defer close(out)
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
@@ -133,15 +158,15 @@ func (e *Engine) runStream(ctx context.Context, in <-chan Pair, errThreshold int
 	// a free buffer set, which bounds in-flight work to two batches per
 	// device. completed has room for every batch that can be in flight so
 	// device pipelines never stall on the collector.
-	dispatch := make(chan *streamBatch)
-	completed := make(chan *streamBatch, bufferSets*nDev+1)
+	dispatch := make(chan *streamBatch[T])
+	completed := make(chan *streamBatch[T], bufferSets*nDev+1)
 
 	var workers sync.WaitGroup
 	for di, st := range e.states {
 		workers.Add(1)
 		go func(di int, st *deviceState) {
 			defer workers.Done()
-			e.streamWorker(di, st, errThreshold, dispatch, completed)
+			streamWorker(e, di, st, errThreshold, dispatch, completed, ops)
 		}(di, st)
 	}
 
@@ -158,7 +183,7 @@ func (e *Engine) runStream(ctx context.Context, in <-chan Pair, errThreshold int
 			prep:   make([]float64, nDev),
 			xfer:   make([]float64, nDev),
 		}
-		pending := make(map[int]*streamBatch)
+		pending := make(map[int]*streamBatch[T])
 		next := 0
 		canceled, failed := false, false
 		for b := range completed {
@@ -215,7 +240,7 @@ func (e *Engine) runStream(ctx context.Context, in <-chan Pair, errThreshold int
 	// full or until the linger window elapses, so a saturated stream ships
 	// whole batches while a sparse one still flushes with bounded latency.
 	seq := 0
-	var batch []Pair
+	var batch []T
 	linger := time.NewTimer(streamLinger)
 	if !linger.Stop() {
 		<-linger.C
@@ -224,7 +249,7 @@ func (e *Engine) runStream(ctx context.Context, in <-chan Pair, errThreshold int
 		if len(batch) == 0 {
 			return true
 		}
-		b := &streamBatch{seq: seq, pairs: batch, res: make([]Result, len(batch))}
+		b := &streamBatch[T]{seq: seq, items: batch, res: make([]Result, len(batch))}
 		seq++
 		batch = nil
 		select {
@@ -308,12 +333,12 @@ receive:
 // goroutine) and a launch stage (a nested goroutine) connected by the two
 // buffer sets. While the launcher runs the kernel over one set, the encoder
 // fills the other — the double-buffered overlap the stream models.
-func (e *Engine) streamWorker(di int, st *deviceState, errThreshold int,
-	dispatch <-chan *streamBatch, completed chan<- *streamBatch) {
+func streamWorker[T any](e *Engine, di int, st *deviceState, errThreshold int,
+	dispatch <-chan *streamBatch[T], completed chan<- *streamBatch[T], ops streamOps[T]) {
 
 	type work struct {
 		set *bufferSet
-		b   *streamBatch
+		b   *streamBatch[T]
 	}
 	free := make(chan *bufferSet, len(st.sets))
 	for _, set := range st.sets {
@@ -325,9 +350,9 @@ func (e *Engine) streamWorker(di int, st *deviceState, errThreshold int,
 		defer close(launcherDone)
 		for wk := range ready {
 			b := wk.b
-			b.err = e.launchDecode(st, wk.set, len(b.pairs), errThreshold, b.res)
+			b.err = ops.launch(st, di, wk.set, b.items, errThreshold, b.res)
 			if b.err == nil {
-				e.tallyBatch(st, di, b, errThreshold)
+				tallyBatch(e, st, di, b, ops.workload(len(b.items), errThreshold))
 			}
 			free <- wk.set
 			completed <- b
@@ -335,8 +360,7 @@ func (e *Engine) streamWorker(di int, st *deviceState, errThreshold int,
 	}()
 	for b := range dispatch {
 		set := <-free
-		e.encodeChunk(st, set, b.pairs)
-		e.prefetch(st, set)
+		ops.encode(st, set, b.items)
 		ready <- work{set: set, b: b}
 	}
 	close(ready)
@@ -347,8 +371,7 @@ func (e *Engine) streamWorker(di int, st *deviceState, errThreshold int,
 // ran it; the collector commits them (and the device telemetry) only for
 // batches before any failure. The encode-pool width comes from the modelled
 // Setup, not the simulating machine, so the clocks are reproducible anywhere.
-func (e *Engine) tallyBatch(st *deviceState, di int, b *streamBatch, errThreshold int) {
-	w := e.workload(len(b.pairs), errThreshold)
+func tallyBatch[T any](e *Engine, st *deviceState, di int, b *streamBatch[T], w cuda.Workload) {
 	m := e.cfg.Model
 	encWorkers := e.cfg.Setup.EncodeWorkers
 	if encWorkers < 1 {

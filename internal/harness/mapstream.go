@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cuda"
+	"repro/internal/gkgpu"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/simdata"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "mapstream",
+		PaperRef: "beyond the paper (Section 3.5 integration, taken asynchronous)",
+		Title:    "One-shot vs streaming end-to-end mapping (wall seconds)",
+		Run:      runMapStream,
+	})
+}
+
+// runMapStream compares the paper's phase-by-phase mapping pipeline
+// (MapReads: seed, filter, verify in sequence) against the streaming mapper
+// (MapStream: a seeding pool feeding the engine's candidate stream, with
+// concurrent verification) on the same simulated whole-genome workload.
+// Both paths execute the same filtrations and verifications; the mappings
+// are checked byte-identical, and the wall clocks show what the pipeline
+// overlap (plus the parallel verification pool it enables) buys.
+func runMapStream(o Options) error {
+	const genomeLen, e, L = 300_000, 5, 100
+	nReads := o.scaled(1_500)
+	cfg := simdata.DefaultGenomeConfig(genomeLen)
+	cfg.Seed = o.Seed
+	genome := simdata.Genome(cfg)
+	reads, err := simdata.SimulateReads(genome, simdata.Illumina100, nReads, o.Seed+1)
+	if err != nil {
+		return err
+	}
+	seqs := make([][]byte, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+
+	// Zero the per-launch and per-batch overheads, as the gkgpu streaming
+	// tests do: at paper scale compute dominates the launch cost, and the
+	// filter-clock comparison must isolate the overlap model rather than
+	// how the linger window happened to fragment a trickling candidate
+	// stream into batches (with zero constants the modelled clocks are
+	// partition-independent).
+	model := cuda.DefaultCostModel()
+	model.PerLaunchSeconds = 0
+	model.PerBatchHostSeconds = 0
+	mk := func() (*mapper.Mapper, *gkgpu.Engine, error) {
+		eng, err := gkgpu.NewEngine(gkgpu.Config{
+			ReadLen: L, MaxE: e, Encoding: gkgpu.EncodeOnHost, MaxBatchPairs: 1 << 15,
+			Model: model,
+		}, cuda.NewUniformContext(1, cuda.GTX1080Ti()))
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := mapper.New(genome, mapper.Config{ReadLen: L, MaxE: e, SeedLen: 9, Filter: eng})
+		if err != nil {
+			eng.Close()
+			return nil, nil, err
+		}
+		return m, eng, nil
+	}
+
+	oneShot, eng1, err := mk()
+	if err != nil {
+		return err
+	}
+	want, osStats, err := oneShot.MapReads(seqs, e)
+	eng1.Close()
+	if err != nil {
+		return err
+	}
+
+	stream, eng2, err := mk()
+	if err != nil {
+		return err
+	}
+	got, ssStats, err := stream.MapStream(seqs, e)
+	eng2.Close()
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("mapstream: streaming produced %d mappings, one-shot %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("mapstream: mapping %d drifted: stream %+v one-shot %+v", i, got[i], want[i])
+		}
+	}
+
+	fmt.Fprintf(o.Out, "%d reads, %d candidates, e=%d, %d workers (GOMAXPROCS)\n\n",
+		nReads, osStats.CandidatePairs, e, runtime.GOMAXPROCS(0))
+	// The paper's accounting (as in Table 5): the filtering cost a real
+	// deployment adds to the pipeline is the modelled device time, so
+	// filter+verify compares modelled filter seconds plus the DP wall.
+	osFV := osStats.FilterModelSeconds + osStats.VerifySeconds
+	ssFV := ssStats.FilterModelSeconds + ssStats.VerifySeconds
+	// One formula for both rows' serial decomposition — seed + modelled
+	// filter + verify — so the column compares like with like (the one-shot
+	// path's StageSeconds would otherwise use the simulated kernel's host
+	// wall, a different clock than the streaming row's).
+	stage := func(s mapper.Stats) float64 {
+		return s.SeedSeconds + s.FilterModelSeconds + s.VerifySeconds
+	}
+	tb := metrics.NewTable("path", "filter model (s)", "filter+verify (s)", "total wall (s)",
+		"stage seconds (serial)", "overlap hidden (s)")
+	tb.Add("one-shot MapReads",
+		fmt.Sprintf("%.4f", osStats.FilterModelSeconds),
+		fmt.Sprintf("%.4f", osFV),
+		fmt.Sprintf("%.3f", osStats.TotalSeconds),
+		fmt.Sprintf("%.3f", stage(osStats)),
+		"NA")
+	tb.Add("streaming MapStream",
+		fmt.Sprintf("%.4f", ssStats.FilterModelSeconds),
+		fmt.Sprintf("%.4f", ssFV),
+		fmt.Sprintf("%.3f", ssStats.TotalSeconds),
+		fmt.Sprintf("%.3f", stage(ssStats)),
+		fmt.Sprintf("%.3f", ssStats.OverlapSeconds()))
+	fmt.Fprint(o.Out, tb.String())
+	fmt.Fprintf(o.Out, "\nfilter+verify speedup (streaming over one-shot): %.2fx\n", osFV/ssFV)
+	fmt.Fprintf(o.Out, "whole-pipeline wall speedup: %.2fx (real wall; needs spare cores to exceed 1)\n",
+		osStats.TotalSeconds/ssStats.PipelineWallSeconds)
+
+	// Enforce the win where it is deterministic: whatever the batch
+	// partition, the double-buffered stream charges max(encode, device)
+	// per batch where the one-shot rounds charge the sum, so the streaming
+	// filter clock is strictly below the one-shot clock for any non-empty
+	// workload. The real wall-clock win additionally needs spare cores to
+	// overlap on, so it is enforced only on parallel hosts.
+	if osStats.CandidatePairs > 0 && ssStats.FilterModelSeconds >= osStats.FilterModelSeconds {
+		return fmt.Errorf("mapstream: streaming filter clock %.4fs not below one-shot %.4fs",
+			ssStats.FilterModelSeconds, osStats.FilterModelSeconds)
+	}
+	if nReads >= 1_000 && runtime.GOMAXPROCS(0) >= 4 && ssStats.PipelineWallSeconds >= osStats.TotalSeconds {
+		return fmt.Errorf("mapstream: streaming pipeline wall %.3fs not below one-shot total wall %.3fs",
+			ssStats.PipelineWallSeconds, osStats.TotalSeconds)
+	}
+	fmt.Fprintln(o.Out, "\nShape checks: mappings byte-identical on both paths; the streaming filter clock")
+	fmt.Fprintln(o.Out, "(host encode hidden behind kernel execution) beats the one-shot rounds, and on")
+	fmt.Fprintln(o.Out, "multi-core hosts the overlapped pipeline wall undercuts the phase-by-phase run.")
+	return nil
+}

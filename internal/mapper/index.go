@@ -5,6 +5,24 @@
 // preserves one seed exactly), candidate extension, optional pre-alignment
 // filtering between seeding and verification, and banded dynamic-programming
 // verification — the expensive stage the filter protects.
+//
+// Two execution paths are offered, mirroring package gkgpu's split.
+// Mapper.MapReads is the paper's one-shot pipeline: synchronized phases in
+// which a batch of reads is seeded, its candidates are filtered in one
+// round, and the survivors are verified, with each phase's wall clock
+// reported separately (the accounting of Section 4.5). Mapper.MapStream is
+// the throughput-oriented extension: a pool of seeding workers feeds
+// candidates into the filter's streaming path — preferring the index-named
+// candidate stream (gkgpu.Engine.FilterCandidateStream), where reference
+// windows stay in device-resident unified memory — while a verification
+// pool consumes accepted candidates concurrently, so seeding, filtering,
+// and verification overlap instead of running back to back. Decisions and
+// output are byte-identical between the two paths; only the schedule (and
+// the wall clock, reported via Stats.PipelineWallSeconds against
+// Stats.StageSeconds) differs. Mapper.MapPairs builds paired-end mapping on
+// top of the streaming path: both mates of an FR library map in one
+// streaming pass and concordant pairs are resolved against an insert-size
+// window.
 package mapper
 
 import (

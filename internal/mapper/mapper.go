@@ -44,6 +44,9 @@ type Config struct {
 	// BothStrands also maps the reverse complement of every read, as real
 	// short read mappers do; reverse-strand mappings carry Reverse=true.
 	BothStrands bool
+	// StreamWorkers sizes MapStream's seeding and verification worker pools.
+	// Zero uses GOMAXPROCS. The one-shot MapReads path ignores it.
+	StreamWorkers int
 }
 
 func (c *Config) applyDefaults() {
@@ -85,6 +88,45 @@ type Stats struct {
 	FilterPrepModel    float64 // modelled host encode/fill seconds
 	VerifySeconds      float64 // wall: banded-DP verification
 	TotalSeconds       float64
+
+	// Streaming-pipeline metrics, populated by MapStream and MapPairs only.
+	// On the streaming path SeedSeconds and VerifySeconds are aggregate
+	// worker-busy seconds (the stage cost, summed across the pools) rather
+	// than wall time, and PipelineWallSeconds is the single wall clock the
+	// overlapped seed → filter → verify pipeline actually took.
+	PipelineWallSeconds float64
+
+	// Paired-end accounting, populated by MapPairs only.
+	ReadPairs       int64 // input mate pairs
+	ConcordantPairs int64 // pairs resolved inside the insert window
+}
+
+// StageSeconds is the modelled serial cost of the pipeline: what seeding,
+// filtering, and verification would take end to end with no overlap. On the
+// one-shot path it is simply how the run decomposed; on the streaming path
+// comparing it against PipelineWallSeconds measures the overlap won.
+func (s Stats) StageSeconds() float64 {
+	if s.PipelineWallSeconds > 0 {
+		// Streaming path: FilterWallSeconds is the wall the filter stream
+		// stayed open, which overlaps the other stages (and includes time
+		// spent waiting on producers); the filter's serial-equivalent cost
+		// is the modelled end-to-end filter time.
+		return s.SeedSeconds + s.FilterModelSeconds + s.VerifySeconds
+	}
+	return s.SeedSeconds + s.FilterWallSeconds + s.VerifySeconds
+}
+
+// OverlapSeconds is the stage time the streaming pipeline hid by running
+// seeding, filtering, and verification concurrently (zero on the one-shot
+// path, where PipelineWallSeconds is not populated).
+func (s Stats) OverlapSeconds() float64 {
+	if s.PipelineWallSeconds <= 0 {
+		return 0
+	}
+	if d := s.StageSeconds() - s.PipelineWallSeconds; d > 0 {
+		return d
+	}
+	return 0
 }
 
 // Reduction returns the fraction of candidate mappings the filter removed —
@@ -319,11 +361,23 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 	}
 	st.TotalSeconds = time.Since(totalStart).Seconds()
 
+	sortMappings(mappings)
+	return mappings, st, nil
+}
+
+// sortMappings puts a mapping list into the mapper's canonical report order:
+// (read, position, strand). The strand tie-break keeps the order fully
+// deterministic — MapReads and MapStream must emit byte-identical output —
+// even for the rare read whose forward and reverse-complement queries map at
+// the same position.
+func sortMappings(mappings []Mapping) {
 	sort.Slice(mappings, func(i, j int) bool {
 		if mappings[i].ReadID != mappings[j].ReadID {
 			return mappings[i].ReadID < mappings[j].ReadID
 		}
-		return mappings[i].Pos < mappings[j].Pos
+		if mappings[i].Pos != mappings[j].Pos {
+			return mappings[i].Pos < mappings[j].Pos
+		}
+		return !mappings[i].Reverse && mappings[j].Reverse
 	})
-	return mappings, st, nil
 }

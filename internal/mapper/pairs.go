@@ -1,0 +1,139 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dna"
+)
+
+// ReadPair is one mate pair from an FR (forward/reverse) paired-end library:
+// R1 reads into the fragment from its left end, R2 from its right end on the
+// opposite strand, exactly as Illumina sequencers emit them.
+type ReadPair struct {
+	R1, R2 []byte
+}
+
+// InsertWindow bounds the accepted fragment length (outer distance: leftmost
+// mapped base of one mate to rightmost mapped base of the other) for a
+// concordant pair.
+type InsertWindow struct {
+	Min, Max int
+}
+
+// PairMapping is one resolved concordant paired-end mapping. Mate2 describes
+// where the reverse complement of R2 maps on the forward strand, so both
+// mates share one coordinate system; Insert is the outer fragment length.
+type PairMapping struct {
+	PairID       int
+	Mate1, Mate2 Mapping
+	Insert       int
+}
+
+// MapPairs maps read pairs through the streaming pipeline and resolves
+// concordant pairs: both mates mapped in compatible orientation with the
+// fragment length inside the insert window. Each pair contributes at most
+// one PairMapping — the combination with the smallest summed edit distance
+// (leftmost, then shortest insert, on ties). R1 is mapped as-is and R2 as
+// its reverse complement, the FR orientation; under Config.BothStrands a
+// fragment from the opposite strand is also found, as the combination where
+// both mates' mappings carry Reverse=true.
+//
+// The returned Stats are MapStream's for the interleaved 2n mate reads,
+// with ReadPairs and ConcordantPairs filled in.
+func (m *Mapper) MapPairs(pairs []ReadPair, e int, win InsertWindow) ([]PairMapping, Stats, error) {
+	if win.Min < 0 || win.Max < win.Min {
+		return nil, Stats{}, fmt.Errorf("mapper: insert window [%d,%d] invalid", win.Min, win.Max)
+	}
+	if win.Min < m.cfg.ReadLen {
+		return nil, Stats{}, fmt.Errorf("mapper: insert window minimum %d below read length %d",
+			win.Min, m.cfg.ReadLen)
+	}
+	// Interleave the mates so one streaming pass maps both: query 2i is R1
+	// of pair i, query 2i+1 is the reverse complement of its R2.
+	seqs := make([][]byte, 0, 2*len(pairs))
+	for _, p := range pairs {
+		seqs = append(seqs, p.R1, dna.ReverseComplement(p.R2))
+	}
+	mappings, st, err := m.MapStream(seqs, e)
+	if err != nil {
+		return nil, st, err
+	}
+	st.ReadPairs = int64(len(pairs))
+
+	L := m.cfg.ReadLen
+	var resolved []PairMapping
+	// mappings are sorted by ReadID, so each pair's two mates are adjacent
+	// runs: readID 2i then 2i+1.
+	for lo := 0; lo < len(mappings); {
+		pairID := mappings[lo].ReadID / 2
+		hi := lo
+		var m1, m2 []Mapping
+		for ; hi < len(mappings) && mappings[hi].ReadID/2 == pairID; hi++ {
+			if mappings[hi].ReadID%2 == 0 {
+				m1 = append(m1, mappings[hi])
+			} else {
+				m2 = append(m2, mappings[hi])
+			}
+		}
+		if pm, ok := resolvePair(pairID, m1, m2, L, win); ok {
+			resolved = append(resolved, pm)
+		}
+		lo = hi
+	}
+	st.ConcordantPairs = int64(len(resolved))
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i].PairID < resolved[j].PairID })
+	return resolved, st, nil
+}
+
+// resolvePair picks the best concordant combination of one pair's mate
+// mappings, if any: FR orientation, insert inside the window, minimal
+// summed distance (then leftmost start, then shortest insert).
+func resolvePair(pairID int, m1, m2 []Mapping, L int, win InsertWindow) (PairMapping, bool) {
+	best := PairMapping{PairID: pairID}
+	found := false
+	better := func(a PairMapping, b PairMapping) bool {
+		da, db := a.Mate1.Distance+a.Mate2.Distance, b.Mate1.Distance+b.Mate2.Distance
+		if da != db {
+			return da < db
+		}
+		la, lb := min(a.Mate1.Pos, a.Mate2.Pos), min(b.Mate1.Pos, b.Mate2.Pos)
+		if la != lb {
+			return la < lb
+		}
+		return a.Insert < b.Insert
+	}
+	for _, a := range m1 {
+		for _, b := range m2 {
+			// FR concordance is orientation AND order. On a forward-strand
+			// fragment (both queries mapping forward) R1 reads the left end,
+			// so its window must be leftmost; on a reverse-strand fragment
+			// (both queries mapping reversed, under BothStrands) the layout
+			// mirrors and R2's window is leftmost. Mixed orientations and
+			// everted arrangements are discordant.
+			if a.Reverse != b.Reverse {
+				continue
+			}
+			if !a.Reverse && b.Pos < a.Pos {
+				continue
+			}
+			if a.Reverse && a.Pos < b.Pos {
+				continue
+			}
+			lo, hi := a.Pos, b.Pos
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			insert := hi + L - lo
+			if insert < win.Min || insert > win.Max {
+				continue
+			}
+			cand := PairMapping{PairID: pairID, Mate1: a, Mate2: b, Insert: insert}
+			if !found || better(cand, best) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best, found
+}

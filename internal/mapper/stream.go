@@ -1,0 +1,412 @@
+package mapper
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+	"repro/internal/gkgpu"
+)
+
+// PairStreamFilter is a PreFilter with an order-preserving streaming path
+// over materialized pairs, in the shape of gkgpu.Engine.FilterStream: many
+// producers may feed in, results come back in send order, and StreamErr
+// reports a terminal failure after the result channel closes.
+type PairStreamFilter interface {
+	PreFilter
+	FilterStream(ctx context.Context, in <-chan gkgpu.Pair, errThreshold int) (<-chan gkgpu.Result, error)
+	StreamErr() error
+}
+
+// CandidateStreamFilter is a CandidateFilter whose index-named path also
+// streams: candidates carry the read bytes and a reference offset, and the
+// filter extracts the window from its own device-resident reference.
+// gkgpu.Engine implements it; MapStream prefers this path because no
+// reference window is ever materialized on the host.
+type CandidateStreamFilter interface {
+	CandidateFilter
+	FilterCandidateStream(ctx context.Context, in <-chan gkgpu.StreamCandidate, errThreshold int) (<-chan gkgpu.Result, error)
+	StreamErr() error
+}
+
+// streamQuery is one oriented sequence to map: the read itself, or its
+// reverse complement under Config.BothStrands.
+type streamQuery struct {
+	readID  int
+	reverse bool
+	seq     []byte
+}
+
+// candMeta identifies the candidate behind one in-flight filtration.
+type candMeta struct {
+	query int
+	pos   int32
+}
+
+// metaQueue is the FIFO matching stream results back to their candidates:
+// the feeder pushes a candidate's metadata immediately before sending it
+// into the filter stream, and because the stream preserves input order, the
+// consumer pops in lockstep with arriving results. It is unbounded so the
+// feeder never deadlocks against the stream's internal buffering.
+type metaQueue struct {
+	mu   sync.Mutex
+	q    []candMeta
+	head int
+}
+
+func (m *metaQueue) push(c candMeta) {
+	m.mu.Lock()
+	m.q = append(m.q, c)
+	m.mu.Unlock()
+}
+
+func (m *metaQueue) pop() candMeta {
+	m.mu.Lock()
+	c := m.q[m.head]
+	m.head++
+	if m.head == len(m.q) {
+		m.q, m.head = m.q[:0], 0
+	} else if m.head >= 4096 {
+		m.q = append(m.q[:0], m.q[m.head:]...)
+		m.head = 0
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// verifyJob is one accepted candidate awaiting banded-DP verification.
+type verifyJob struct {
+	query     int
+	pos       int32
+	undefined bool
+}
+
+// MapStream is the streaming counterpart of MapReads: a pool of seeding
+// workers feeds candidates through the configured filter's streaming path
+// while a verification pool consumes accepted candidates concurrently, so
+// seeding, pre-alignment filtering, and banded-DP verification overlap
+// instead of running as synchronized phases. Decisions and output are
+// byte-identical to MapReads — same mappings, same order — only the
+// execution schedule (and therefore the wall clock) differs.
+//
+// The filter stage adapts to what Config.Filter supports: the index-named
+// candidate stream (CandidateStreamFilter, gkgpu.Engine's path — reads ship
+// to the device once per candidate, reference windows stay device-resident),
+// a materialized-pair stream (PairStreamFilter), an inline one-shot filter
+// (any other PreFilter, called per seeded read), or no filter at all.
+// Config.StreamWorkers sizes the seeding and verification pools.
+func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
+	if e > m.cfg.MaxE {
+		return nil, Stats{}, fmt.Errorf("mapper: threshold %d exceeds configured %d", e, m.cfg.MaxE)
+	}
+	for i, r := range reads {
+		if len(r) != m.cfg.ReadLen {
+			return nil, Stats{}, fmt.Errorf("mapper: read %d has length %d, mapper built for %d",
+				i, len(r), m.cfg.ReadLen)
+		}
+	}
+	totalStart := time.Now()
+	L := m.cfg.ReadLen
+	ref := m.idx.ref
+
+	// The query list is MapReads' batch expansion, flattened: every read,
+	// plus its reverse complement when both-strand mapping is on.
+	queries := make([]streamQuery, 0, len(reads))
+	for ri, read := range reads {
+		queries = append(queries, streamQuery{readID: ri, seq: read})
+		if m.cfg.BothStrands {
+			queries = append(queries, streamQuery{readID: ri, reverse: true, seq: dna.ReverseComplement(read)})
+		}
+	}
+
+	workers := m.cfg.StreamWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Filter mode resolution, most to least integrated.
+	var candSF CandidateStreamFilter
+	var pairSF PairStreamFilter
+	if sf, ok := m.candFilter.(CandidateStreamFilter); ok && m.candFilter != nil {
+		candSF = sf
+	} else if sf, ok := m.cfg.Filter.(PairStreamFilter); ok {
+		pairSF = sf
+	}
+
+	var engBefore gkgpu.Stats
+	if eng, ok := m.cfg.Filter.(*gkgpu.Engine); ok {
+		engBefore = eng.Stats()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err; cancel() })
+	}
+
+	// Open the filter stream before any worker starts so an open failure
+	// needs no pipeline teardown.
+	var out <-chan gkgpu.Result
+	var candIn chan gkgpu.StreamCandidate
+	var pairIn chan gkgpu.Pair
+	var err error
+	switch {
+	case candSF != nil:
+		candIn = make(chan gkgpu.StreamCandidate)
+		out, err = candSF.FilterCandidateStream(ctx, candIn, e)
+	case pairSF != nil:
+		pairIn = make(chan gkgpu.Pair)
+		out, err = pairSF.FilterStream(ctx, pairIn, e)
+	}
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("mapper: opening filter stream: %w", err)
+	}
+
+	var candCount, rejectCount, verifCount, undefCount atomic.Int64
+	var timeMu sync.Mutex
+	var seedBusy, verifyBusy, inlineFilterBusy float64
+
+	// Verification pool: accepted candidates to banded DP, mappings into
+	// per-worker slices merged (and sorted) at the end.
+	verifyJobs := make(chan verifyJob, 4*workers)
+	perWorker := make([][]Mapping, workers)
+	var verifyWg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		verifyWg.Add(1)
+		go func(w int) {
+			defer verifyWg.Done()
+			var local []Mapping
+			var busy float64
+			for j := range verifyJobs {
+				t0 := time.Now()
+				verifCount.Add(1)
+				if j.undefined {
+					undefCount.Add(1)
+				}
+				q := queries[j.query]
+				window := ref[j.pos : int(j.pos)+L]
+				if m.cfg.Traceback {
+					if al, ok := align.Align(q.seq, window, e); ok {
+						local = append(local, Mapping{ReadID: q.readID, Pos: int(j.pos),
+							Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: q.reverse})
+					}
+				} else if d, ok := align.DistanceBanded(q.seq, window, e); ok {
+					local = append(local, Mapping{ReadID: q.readID, Pos: int(j.pos),
+						Distance: d, Reverse: q.reverse})
+				}
+				busy += time.Since(t0).Seconds()
+			}
+			timeMu.Lock()
+			verifyBusy += busy
+			perWorker[w] = local
+			timeMu.Unlock()
+		}(w)
+	}
+
+	// Seeding pool: query indices in, per-query candidate lists out.
+	type seeded struct {
+		query int
+		cands []int32
+	}
+	jobs := make(chan int)
+	seededCh := make(chan seeded, 2*workers)
+	var seedWg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		seedWg.Add(1)
+		go func() {
+			defer seedWg.Done()
+			var busy float64
+			defer func() {
+				timeMu.Lock()
+				seedBusy += busy
+				timeMu.Unlock()
+			}()
+			for qi := range jobs {
+				t0 := time.Now()
+				cands := m.candidates(queries[qi].seq, e)
+				busy += time.Since(t0).Seconds()
+				select {
+				case seededCh <- seeded{query: qi, cands: cands}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for qi := range queries {
+			select {
+			case jobs <- qi:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		seedWg.Wait()
+		close(seededCh)
+	}()
+
+	// Dispatch stage: route seeded candidates to the filter and the filter's
+	// verdicts to the verification pool.
+	dispatchDone := make(chan struct{})
+	if out != nil {
+		// Streaming filter: a feeder serializes candidates into the stream
+		// (recording each one's metadata in send order) and a consumer matches
+		// results back and forwards accepted candidates to verification.
+		metas := &metaQueue{}
+		go func() {
+			defer func() {
+				if candIn != nil {
+					close(candIn)
+				} else {
+					close(pairIn)
+				}
+			}()
+			for s := range seededCh {
+				q := queries[s.query]
+				for _, pos := range s.cands {
+					candCount.Add(1)
+					metas.push(candMeta{query: s.query, pos: pos})
+					if candIn != nil {
+						select {
+						case candIn <- gkgpu.StreamCandidate{Read: q.seq, Pos: pos}:
+						case <-ctx.Done():
+							return
+						}
+					} else {
+						select {
+						case pairIn <- gkgpu.Pair{Read: q.seq, Ref: ref[pos : int(pos)+L]}:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}
+		}()
+		go func() {
+			defer close(dispatchDone)
+			defer close(verifyJobs)
+			for r := range out {
+				mt := metas.pop()
+				if !r.Accept {
+					rejectCount.Add(1)
+					continue
+				}
+				select {
+				case verifyJobs <- verifyJob{query: mt.query, pos: mt.pos, undefined: r.Undefined}:
+				case <-ctx.Done():
+					for range out { // let the stream drain and close
+					}
+					return
+				}
+			}
+			var serr error
+			if candSF != nil {
+				serr = candSF.StreamErr()
+			} else {
+				serr = pairSF.StreamErr()
+			}
+			if serr != nil {
+				fail(fmt.Errorf("mapper: streaming pre-alignment filter: %w", serr))
+			}
+		}()
+	} else {
+		// Inline filter (or none): one dispatcher filters each seeded read's
+		// candidates in place — the filter stage still overlaps seeding and
+		// verification, just without the device pipeline.
+		go func() {
+			defer close(dispatchDone)
+			defer close(verifyJobs)
+			for s := range seededCh {
+				if len(s.cands) == 0 {
+					continue
+				}
+				candCount.Add(int64(len(s.cands)))
+				q := queries[s.query]
+				var verdicts []gkgpu.Result
+				if m.cfg.Filter != nil {
+					pairs := make([]gkgpu.Pair, len(s.cands))
+					for i, pos := range s.cands {
+						pairs[i] = gkgpu.Pair{Read: q.seq, Ref: ref[pos : int(pos)+L]}
+					}
+					t0 := time.Now()
+					res, ferr := m.cfg.Filter.FilterPairs(pairs, e)
+					timeMu.Lock()
+					inlineFilterBusy += time.Since(t0).Seconds()
+					timeMu.Unlock()
+					if ferr != nil {
+						fail(fmt.Errorf("mapper: pre-alignment filter: %w", ferr))
+						return
+					}
+					verdicts = res
+				}
+				for i, pos := range s.cands {
+					j := verifyJob{query: s.query, pos: pos}
+					if verdicts != nil {
+						if !verdicts[i].Accept {
+							rejectCount.Add(1)
+							continue
+						}
+						j.undefined = verdicts[i].Undefined
+					}
+					select {
+					case verifyJobs <- j:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	<-dispatchDone
+	verifyWg.Wait()
+	if firstErr != nil {
+		return nil, Stats{}, firstErr
+	}
+
+	var mappings []Mapping
+	for _, local := range perWorker {
+		mappings = append(mappings, local...)
+	}
+	sortMappings(mappings)
+
+	var st Stats
+	st.Reads = int64(len(reads))
+	st.CandidatePairs = candCount.Load()
+	st.RejectedPairs = rejectCount.Load()
+	st.VerificationPairs = verifCount.Load()
+	st.UndefinedPairs = undefCount.Load()
+	st.Mappings = int64(len(mappings))
+	mapped := make(map[int]bool, len(reads))
+	for _, mp := range mappings {
+		mapped[mp.ReadID] = true
+	}
+	st.MappedReads = int64(len(mapped))
+	st.SeedSeconds = seedBusy
+	st.VerifySeconds = verifyBusy
+	st.FilterWallSeconds = inlineFilterBusy
+	if eng, ok := m.cfg.Filter.(*gkgpu.Engine); ok {
+		d := eng.Stats()
+		st.FilterKernelModel = d.KernelSeconds - engBefore.KernelSeconds
+		st.FilterModelSeconds = d.FilterSeconds - engBefore.FilterSeconds
+		st.FilterPrepModel = d.HostPrepSeconds - engBefore.HostPrepSeconds
+		if out != nil {
+			// The stream's open wall overlaps the other stages; report it as
+			// the filter's wall without adding it to the stage decomposition.
+			st.FilterWallSeconds = d.WallSeconds - engBefore.WallSeconds
+		}
+	}
+	st.TotalSeconds = time.Since(totalStart).Seconds()
+	st.PipelineWallSeconds = st.TotalSeconds
+	return mappings, st, nil
+}

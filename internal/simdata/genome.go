@@ -111,34 +111,89 @@ func SimulateReads(genome []byte, profile ReadProfile, n int, seed int64) ([]Sim
 	reads := make([]SimRead, n)
 	for i := range reads {
 		pos := rng.Intn(len(genome) - profile.Length)
-		seq := append([]byte(nil), genome[pos:pos+profile.Length]...)
-		var edits []dna.Edit
-		for p := 0; p < len(seq); p++ {
-			r := rng.Float64()
-			switch {
-			case r < profile.SubRate:
-				edits = append(edits, dna.Edit{Pos: p, Op: 'X', Base: dna.Alphabet[rng.Intn(4)]})
-			case r < profile.SubRate+profile.InsRate:
-				edits = append(edits, dna.Edit{Pos: p, Op: 'I', Base: dna.Alphabet[rng.Intn(4)]})
-			case r < profile.SubRate+profile.InsRate+profile.DelRate:
-				edits = append(edits, dna.Edit{Pos: p, Op: 'D'})
-			}
-		}
-		seq = dna.ApplyEdits(seq, edits)
-		// Restore the profile length: sequencers emit fixed-length reads.
-		for len(seq) < profile.Length {
-			ext := pos + profile.Length + (len(seq) - profile.Length)
-			if ext < len(genome) {
-				seq = append(seq, genome[ext])
-			} else {
-				seq = append(seq, dna.Alphabet[rng.Intn(4)])
-			}
-		}
-		seq = seq[:profile.Length]
-		if profile.NRate > 0 {
-			dna.SprinkleN(rng, seq, profile.NRate)
-		}
-		reads[i] = SimRead{Seq: seq, TruePos: pos}
+		reads[i] = SimRead{Seq: simulateFrom(rng, genome, pos, profile), TruePos: pos}
 	}
 	return reads, nil
+}
+
+// simulateFrom sequences one read from the forward-strand window starting at
+// pos: copy the window, apply the profile's errors, and restore the profile
+// length (sequencers emit fixed-length reads).
+func simulateFrom(rng *rand.Rand, genome []byte, pos int, profile ReadProfile) []byte {
+	seq := append([]byte(nil), genome[pos:pos+profile.Length]...)
+	var edits []dna.Edit
+	for p := 0; p < len(seq); p++ {
+		r := rng.Float64()
+		switch {
+		case r < profile.SubRate:
+			edits = append(edits, dna.Edit{Pos: p, Op: 'X', Base: dna.Alphabet[rng.Intn(4)]})
+		case r < profile.SubRate+profile.InsRate:
+			edits = append(edits, dna.Edit{Pos: p, Op: 'I', Base: dna.Alphabet[rng.Intn(4)]})
+		case r < profile.SubRate+profile.InsRate+profile.DelRate:
+			edits = append(edits, dna.Edit{Pos: p, Op: 'D'})
+		}
+	}
+	seq = dna.ApplyEdits(seq, edits)
+	for len(seq) < profile.Length {
+		ext := pos + profile.Length + (len(seq) - profile.Length)
+		if ext < len(genome) {
+			seq = append(seq, genome[ext])
+		} else {
+			seq = append(seq, dna.Alphabet[rng.Intn(4)])
+		}
+	}
+	seq = seq[:profile.Length]
+	if profile.NRate > 0 {
+		dna.SprinkleN(rng, seq, profile.NRate)
+	}
+	return seq
+}
+
+// SimReadPair is one simulated mate pair from an FR paired-end library. R1
+// reads the fragment's left end on the forward strand; R2 reads its right
+// end on the reverse strand, so R2.Seq is reverse-complement oriented and
+// R2.TruePos is the forward-strand offset of the window where the reverse
+// complement of R2.Seq maps. Insert is the true fragment (outer) length.
+type SimReadPair struct {
+	R1, R2 SimRead
+	Insert int
+}
+
+// SimulatePairs samples n FR mate pairs: a fragment start uniform over the
+// genome, a fragment length drawn from a normal distribution with the given
+// mean and standard deviation (clamped to [read length, genome length]),
+// and profile errors applied to each mate independently, Mason-style.
+func SimulatePairs(genome []byte, profile ReadProfile, n, insertMean, insertStd int, seed int64) ([]SimReadPair, error) {
+	if len(genome) < profile.Length {
+		return nil, fmt.Errorf("simdata: genome (%d) shorter than read length (%d)", len(genome), profile.Length)
+	}
+	if insertMean < profile.Length {
+		return nil, fmt.Errorf("simdata: mean insert %d below read length %d", insertMean, profile.Length)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]SimReadPair, n)
+	for i := range pairs {
+		insert := insertMean
+		if insertStd > 0 {
+			insert = int(rng.NormFloat64()*float64(insertStd)) + insertMean
+		}
+		if insert < profile.Length {
+			insert = profile.Length
+		}
+		if insert > len(genome) {
+			insert = len(genome)
+		}
+		pos := 0
+		if len(genome) > insert {
+			pos = rng.Intn(len(genome) - insert)
+		}
+		matePos := pos + insert - profile.Length
+		r2 := simulateFrom(rng, genome, matePos, profile)
+		pairs[i] = SimReadPair{
+			R1:     SimRead{Seq: simulateFrom(rng, genome, pos, profile), TruePos: pos},
+			R2:     SimRead{Seq: dna.ReverseComplement(r2), TruePos: matePos},
+			Insert: insert,
+		}
+	}
+	return pairs, nil
 }

@@ -242,3 +242,54 @@ func TestSimulateReadsErrors(t *testing.T) {
 		t.Fatal("genome shorter than read accepted")
 	}
 }
+
+func TestSimulatePairs(t *testing.T) {
+	g := Genome(DefaultGenomeConfig(100_000))
+	pairs, err := SimulatePairs(g, Illumina100, 200, 400, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 200 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	nearMean := 0
+	for i, p := range pairs {
+		if len(p.R1.Seq) != 100 || len(p.R2.Seq) != 100 {
+			t.Fatalf("pair %d mate lengths %d/%d", i, len(p.R1.Seq), len(p.R2.Seq))
+		}
+		if p.Insert != p.R2.TruePos+100-p.R1.TruePos {
+			t.Fatalf("pair %d insert %d inconsistent with mate positions %d/%d",
+				i, p.Insert, p.R1.TruePos, p.R2.TruePos)
+		}
+		if p.Insert >= 400-3*40 && p.Insert <= 400+3*40 {
+			nearMean++
+		}
+		// R2 is reverse-complement oriented: its RC must be close to the
+		// forward window at its TruePos.
+		rc := dna.ReverseComplement(p.R2.Seq)
+		seg := g[p.R2.TruePos : p.R2.TruePos+100]
+		if align.Distance(rc, seg) > 12 {
+			t.Fatalf("pair %d R2 too far from its origin window", i)
+		}
+	}
+	if nearMean < 195 { // ~99.7% within 3 sigma
+		t.Errorf("only %d/200 inserts within 3 sigma of the mean", nearMean)
+	}
+	// Determinism per seed.
+	again, err := SimulatePairs(g, Illumina100, 200, 400, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if string(again[i].R1.Seq) != string(pairs[i].R1.Seq) ||
+			string(again[i].R2.Seq) != string(pairs[i].R2.Seq) {
+			t.Fatalf("pair %d not deterministic", i)
+		}
+	}
+	if _, err := SimulatePairs([]byte("ACGT"), Illumina100, 1, 400, 40, 1); err == nil {
+		t.Fatal("genome shorter than read accepted")
+	}
+	if _, err := SimulatePairs(g, Illumina100, 1, 50, 10, 1); err == nil {
+		t.Fatal("mean insert below read length accepted")
+	}
+}
