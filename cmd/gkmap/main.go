@@ -4,22 +4,27 @@
 //
 // Inputs are FASTA (reference) and FASTQ (reads); with -sim the tool
 // synthesizes both instead, which is how the paper-scale experiments run
-// without redistributable data.
+// without redistributable data. File mode decodes FASTQ incrementally
+// (dna.FASTQScanner) and validates a uniform read length, R2 included.
 //
-// With -stream, reads map through Mapper.MapStream — the overlapped
-// seeding → filter-stream → verification pipeline — instead of the one-shot
-// phases, and the pipeline-overlap accounting is reported. With -paired,
-// mate pairs (synthesized FR pairs under -sim, or -reads-file plus -reads2)
-// map through the streaming pipeline and concordant pairs are resolved
-// against the insert window.
+// With -stream, reads map through the channel-fed streaming pipeline
+// (Mapper.MapReadStream / MapPairStream) as they are decoded — the read set
+// is never materialized unless -sam needs the sequences back for output —
+// and the pipeline-overlap accounting is reported. With -paired, mate pairs
+// (synthesized FR pairs under -sim, or -reads-file plus -reads2) map
+// through the streaming pipeline and concordant pairs are resolved against
+// the insert window; when no -insert-min/-max is given the window is
+// estimated from a sample of confidently mapped pairs. -sam writes
+// single-end records, or standard paired records (flags, RNEXT/PNEXT/TLEN)
+// under -paired, with QNAMEs taken from the FASTQ input.
 //
 // Usage:
 //
 //	gkmap -sim -genome 500000 -reads 5000 -e 5 -prefilter gpu
 //	gkmap -sim -stream -reads 5000 -e 5
-//	gkmap -sim -paired -reads 2000 -insert-mean 400 -insert-std 40
+//	gkmap -sim -paired -reads 2000 -insert-mean 400 -insert-std 40 -sam out.sam
 //	gkmap -ref ref.fa -reads-file reads.fq -e 3 -prefilter none -sam out.sam
-//	gkmap -ref ref.fa -reads-file r1.fq -reads2 r2.fq -paired -e 4
+//	gkmap -ref ref.fa -reads-file r1.fq -reads2 r2.fq -paired -stream -sam out.sam
 package main
 
 import (
@@ -48,27 +53,30 @@ func main() {
 		encoding  = flag.String("encoding", "device", "encoding actor for the GPU engine: device or host")
 		nGPUs     = flag.Int("gpus", 1, "simulated GPU count")
 		batch     = flag.Int("batch", 100_000, "max reads per filtering batch")
-		samOut    = flag.String("sam", "", "write mappings as SAM to this file")
+		samOut    = flag.String("sam", "", "write mappings as SAM to this file (paired records under -paired)")
 		strands   = flag.Bool("both-strands", false, "also map reverse complements")
 		seed      = flag.Int64("seed", 42, "simulation seed")
-		stream    = flag.Bool("stream", false, "map through the streaming pipeline (MapStream)")
+		stream    = flag.Bool("stream", false, "map through the channel-fed streaming pipeline")
 		paired    = flag.Bool("paired", false, "paired-end mapping through the streaming pipeline")
 		reads2    = flag.String("reads2", "", "mate FASTQ for -paired (when not -sim)")
 		workers   = flag.Int("workers", 0, "streaming worker pools size (0 = GOMAXPROCS)")
 		insMean   = flag.Int("insert-mean", 400, "simulated mean fragment length (-paired -sim)")
 		insStd    = flag.Int("insert-std", 40, "simulated fragment length std dev (-paired -sim)")
-		insMin    = flag.Int("insert-min", 0, "insert window minimum (0 = mean - 4 std)")
-		insMax    = flag.Int("insert-max", 0, "insert window maximum (0 = mean + 4 std)")
+		insMin    = flag.Int("insert-min", 0, "insert window minimum (0 = estimate from the data)")
+		insMax    = flag.Int("insert-max", 0, "insert window maximum (0 = estimate from the data)")
 	)
 	flag.Parse()
-	if *paired && *samOut != "" {
-		fatal(fmt.Errorf("-sam supports single-end output only"))
-	}
 
+	// The input source: simulated data is materialized up front; file mode
+	// decodes FASTQ incrementally, peeking only the first record to learn
+	// the read length before the mapper is built.
 	var genome []byte
 	var seqs [][]byte
+	var names []string
 	var pairs []mapper.ReadPair
+	var src1, src2 *fastqSource
 	refName := "chrSim"
+	fileMode := false
 	switch {
 	case *sim && *paired:
 		cfg := simdata.DefaultGenomeConfig(*genomeLen)
@@ -97,6 +105,7 @@ func main() {
 			seqs = append(seqs, r.Seq)
 		}
 	case *refFile != "" && *readsFile != "":
+		fileMode = true
 		rf, err := os.Open(*refFile)
 		if err != nil {
 			fatal(err)
@@ -111,42 +120,30 @@ func main() {
 		}
 		genome = recs[0].Seq
 		refName = recs[0].Name
-		qf, err := os.Open(*readsFile)
+		src1, err = openFASTQ(*readsFile)
 		if err != nil {
 			fatal(err)
 		}
-		reads, err := dna.ReadFASTQ(qf)
-		qf.Close()
+		defer src1.close()
+		first, ok, err := src1.peek()
 		if err != nil {
 			fatal(err)
 		}
-		for _, r := range reads {
-			seqs = append(seqs, r.Seq)
+		if !ok {
+			fatal(fmt.Errorf("no reads in %s", *readsFile))
 		}
-		if len(seqs) > 0 {
-			*readLen = len(seqs[0])
-		}
+		*readLen = len(first.Seq)
+		src1.readLen = *readLen
 		if *paired {
 			if *reads2 == "" {
 				fatal(fmt.Errorf("-paired file mode needs -reads2"))
 			}
-			qf2, err := os.Open(*reads2)
+			src2, err = openFASTQ(*reads2)
 			if err != nil {
 				fatal(err)
 			}
-			mates, err := dna.ReadFASTQ(qf2)
-			qf2.Close()
-			if err != nil {
-				fatal(err)
-			}
-			if len(mates) != len(seqs) {
-				fatal(fmt.Errorf("%d reads in %s but %d mates in %s",
-					len(seqs), *readsFile, len(mates), *reads2))
-			}
-			for i, m := range mates {
-				pairs = append(pairs, mapper.ReadPair{R1: seqs[i], R2: m.Seq})
-			}
-			seqs = nil
+			defer src2.close()
+			src2.readLen = *readLen
 		}
 	default:
 		fatal(fmt.Errorf("provide -sim, or both -ref and -reads-file"))
@@ -183,11 +180,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var mappings []mapper.Mapping
-	var resolved []mapper.PairMapping
-	var st mapper.Stats
-	switch {
-	case *paired:
+
+	// -sam needs the sequences (and names) back at output time, so the
+	// channel-fed paths retain them while feeding; without it nothing is
+	// kept and the pipeline's peak memory is its in-flight work.
+	retain := *samOut != ""
+	var win mapper.InsertWindow // zero = estimate from the data
+	if *insMin > 0 || *insMax > 0 {
 		lo, hi := *insMin, *insMax
 		if lo == 0 {
 			lo = *insMean - 4**insStd
@@ -198,9 +197,66 @@ func main() {
 		if hi == 0 {
 			hi = *insMean + 4**insStd
 		}
-		resolved, st, err = m.MapPairs(pairs, *e, mapper.InsertWindow{Min: lo, Max: hi})
+		win = mapper.InsertWindow{Min: lo, Max: hi}
+	}
+
+	var mappings []mapper.Mapping
+	var resolved []mapper.PairMapping
+	var st mapper.Stats
+	switch {
+	case *paired && (*stream || fileMode):
+		// Channel-fed paired mapping; file mode decodes both FASTQs in
+		// lockstep as the pipeline consumes them.
+		ch := make(chan mapper.PairRead, 256)
+		feedErr := make(chan error, 1)
+		go func() {
+			defer close(ch)
+			if fileMode {
+				feedErr <- feedFilePairs(ch, src1, src2, retain, &pairs, &names)
+			} else {
+				feedErr <- feedSimPairs(ch, pairs)
+			}
+		}()
+		resolved, st, err = m.MapPairStream(ch, *e, win)
+		if ferr := <-feedErr; ferr != nil {
+			// An input malformation is the root cause; it wins over
+			// whatever the starved pipeline reported downstream.
+			err = ferr
+		}
+	case *paired:
+		resolved, st, err = m.MapPairs(pairs, *e, win)
 	case *stream:
-		mappings, st, err = m.MapStream(seqs, *e)
+		ch := make(chan mapper.Read, 256)
+		feedErr := make(chan error, 1)
+		go func() {
+			defer close(ch)
+			if fileMode {
+				feedErr <- feedFileReads(ch, src1, retain, &seqs, &names)
+			} else {
+				feedErr <- feedSimReads(ch, seqs)
+			}
+		}()
+		mappings, st, err = m.MapReadStream(ch, *e)
+		if ferr := <-feedErr; ferr != nil {
+			// An input malformation is the root cause; it wins over
+			// whatever the starved pipeline reported downstream.
+			err = ferr
+		}
+	case fileMode:
+		// One-shot file mode: the scanner still decodes incrementally (same
+		// framing and length validation), collected for batch MapReads.
+		for {
+			rec, ok, rerr := src1.next()
+			if rerr != nil {
+				fatal(rerr)
+			}
+			if !ok {
+				break
+			}
+			seqs = append(seqs, rec.Seq)
+			names = append(names, rec.Name)
+		}
+		mappings, st, err = m.MapReads(seqs, *e)
 	default:
 		mappings, st, err = m.MapReads(seqs, *e)
 	}
@@ -212,6 +268,12 @@ func main() {
 		fmt.Printf("read pairs:          %s\n", metrics.FmtInt(st.ReadPairs))
 		fmt.Printf("concordant pairs:    %s (%.1f%%)\n", metrics.FmtInt(st.ConcordantPairs),
 			100*float64(st.ConcordantPairs)/float64(max(st.ReadPairs, 1)))
+		if st.InsertSampledPairs > 0 {
+			fmt.Printf("insert window:       [%d,%d] (estimated mean %.0f ± %.0f from %d pairs)\n",
+				st.InsertWindowMin, st.InsertWindowMax, st.InsertMean, st.InsertStd, st.InsertSampledPairs)
+		} else {
+			fmt.Printf("insert window:       [%d,%d] (explicit)\n", st.InsertWindowMin, st.InsertWindowMax)
+		}
 	}
 	fmt.Printf("reads:               %s\n", metrics.FmtInt(st.Reads))
 	fmt.Printf("candidate mappings:  %s\n", metrics.FmtInt(st.CandidatePairs))
@@ -246,11 +308,132 @@ func main() {
 			fatal(err)
 		}
 		defer fh.Close()
-		if err := mapper.WriteSAM(fh, refName, len(genome), seqs, mappings); err != nil {
+		if *paired {
+			err = mapper.WritePairedSAM(fh, refName, len(genome), names, pairs, resolved)
+		} else {
+			err = mapper.WriteSAM(fh, refName, len(genome), names, seqs, mappings)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *samOut)
 	}
+}
+
+// fastqSource decodes one FASTQ file incrementally, with one record of
+// lookahead so the read length is known before the mapper is built.
+type fastqSource struct {
+	path    string
+	f       *os.File
+	sc      *dna.FASTQScanner
+	peeked  *dna.Record
+	n       int // records handed out
+	readLen int // 0 until the first record fixes it
+}
+
+func openFASTQ(path string) (*fastqSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fastqSource{path: path, f: f, sc: dna.NewFASTQScanner(f)}, nil
+}
+
+func (s *fastqSource) close() { s.f.Close() }
+
+// peek returns the next record without consuming it.
+func (s *fastqSource) peek() (dna.Record, bool, error) {
+	if s.peeked == nil {
+		if !s.sc.Scan() {
+			return dna.Record{}, false, s.sc.Err()
+		}
+		rec := s.sc.Record()
+		s.peeked = &rec
+	}
+	return *s.peeked, true, nil
+}
+
+// next consumes one record, enforcing the uniform read length the mapper
+// requires (the first record fixes it).
+func (s *fastqSource) next() (dna.Record, bool, error) {
+	rec, ok, err := s.peek()
+	if !ok || err != nil {
+		return dna.Record{}, false, err
+	}
+	s.peeked = nil
+	if s.readLen == 0 {
+		s.readLen = len(rec.Seq)
+	} else if len(rec.Seq) != s.readLen {
+		return dna.Record{}, false, fmt.Errorf("%s: read %d (%q) has length %d, expected uniform length %d",
+			s.path, s.n, rec.Name, len(rec.Seq), s.readLen)
+	}
+	s.n++
+	return rec, true, nil
+}
+
+// feedFileReads streams one FASTQ into the single-end pipeline, optionally
+// retaining sequences and names for SAM output or one-shot mapping.
+func feedFileReads(ch chan<- mapper.Read, src *fastqSource, retain bool, seqs *[][]byte, names *[]string) error {
+	for {
+		rec, ok, err := src.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if retain {
+			*seqs = append(*seqs, rec.Seq)
+			*names = append(*names, rec.Name)
+		}
+		ch <- mapper.Read{Name: rec.Name, Seq: rec.Seq}
+	}
+}
+
+// feedFilePairs streams two FASTQ files in lockstep into the paired
+// pipeline, enforcing equal record counts and a uniform read length across
+// both mates.
+func feedFilePairs(ch chan<- mapper.PairRead, src1, src2 *fastqSource, retain bool, pairs *[]mapper.ReadPair, names *[]string) error {
+	for {
+		r1, ok1, err := src1.next()
+		if err != nil {
+			return err
+		}
+		r2, ok2, err := src2.next()
+		if err != nil {
+			return err
+		}
+		if !ok1 && !ok2 {
+			return nil
+		}
+		if ok1 != ok2 {
+			short := src1.path
+			if ok1 {
+				short = src2.path
+			}
+			return fmt.Errorf("%s and %s have different read counts (%s ends after %d records)",
+				src1.path, src2.path, short, min(src1.n, src2.n))
+		}
+		if retain {
+			*pairs = append(*pairs, mapper.ReadPair{R1: r1.Seq, R2: r2.Seq})
+			*names = append(*names, r1.Name)
+		}
+		ch <- mapper.PairRead{Name: r1.Name, R1: r1.Seq, R2: r2.Seq}
+	}
+}
+
+func feedSimReads(ch chan<- mapper.Read, seqs [][]byte) error {
+	for i, s := range seqs {
+		ch <- mapper.Read{Name: fmt.Sprintf("read%d", i), Seq: s}
+	}
+	return nil
+}
+
+func feedSimPairs(ch chan<- mapper.PairRead, pairs []mapper.ReadPair) error {
+	for i, p := range pairs {
+		ch <- mapper.PairRead{Name: fmt.Sprintf("pair%d", i), R1: p.R1, R2: p.R2}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //
 //	gksim -mode genome -length 1000000 -out ref.fa
 //	gksim -mode reads -length 500000 -n 10000 -profile illumina100 -out reads.fq
+//	gksim -mode paired-reads -length 500000 -n 5000 -insert-mean 400 -out r1.fq -out2 r2.fq
 //	gksim -mode pairs -set set3 -n 30000 -out pairs.tsv
 package main
 
@@ -21,12 +22,15 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "pairs", "what to generate: genome, reads, or pairs")
+		mode    = flag.String("mode", "pairs", "what to generate: genome, reads, paired-reads, or pairs")
 		length  = flag.Int("length", 1_000_000, "genome length (genome/reads modes)")
 		n       = flag.Int("n", 10_000, "number of reads or pairs")
 		profile = flag.String("profile", "illumina100", "read profile: illumina50, illumina100, illumina250, simset1, simset2")
 		setName = flag.String("set", "set3", "pair-set profile (pairs mode)")
 		out     = flag.String("out", "", "output path (default stdout)")
+		out2    = flag.String("out2", "", "mate output path (paired-reads mode, required)")
+		insMean = flag.Int("insert-mean", 400, "mean fragment length (paired-reads mode)")
+		insStd  = flag.Int("insert-std", 40, "fragment length std dev (paired-reads mode)")
 		seed    = flag.Int64("seed", 42, "generation seed")
 	)
 	flag.Parse()
@@ -66,6 +70,41 @@ func main() {
 			recs[i] = dna.Record{Name: fmt.Sprintf("read%d pos=%d", i, r.TruePos), Seq: r.Seq}
 		}
 		if err := dna.WriteFASTQ(w, recs); err != nil {
+			fatal(err)
+		}
+	case "paired-reads":
+		// Two FASTQ files (R1/R2, as sequenced: R2 reverse-complement
+		// oriented) from one simulated FR library — the input shape
+		// `gkmap -paired -reads-file r1.fq -reads2 r2.fq` consumes.
+		if *out2 == "" {
+			fatal(fmt.Errorf("paired-reads mode needs -out2 for the mate file"))
+		}
+		rp, err := readProfile(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := simdata.DefaultGenomeConfig(*length)
+		cfg.Seed = *seed
+		g := simdata.Genome(cfg)
+		simPairs, err := simdata.SimulatePairs(g, rp, *n, *insMean, *insStd, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		r1 := make([]dna.Record, len(simPairs))
+		r2 := make([]dna.Record, len(simPairs))
+		for i, p := range simPairs {
+			r1[i] = dna.Record{Name: fmt.Sprintf("pair%d/1 pos=%d", i, p.R1.TruePos), Seq: p.R1.Seq}
+			r2[i] = dna.Record{Name: fmt.Sprintf("pair%d/2 pos=%d", i, p.R2.TruePos), Seq: p.R2.Seq}
+		}
+		if err := dna.WriteFASTQ(w, r1); err != nil {
+			fatal(err)
+		}
+		fh2, err := os.Create(*out2)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh2.Close()
+		if err := dna.WriteFASTQ(fh2, r2); err != nil {
 			fatal(err)
 		}
 	case "pairs":

@@ -67,44 +67,122 @@ func WriteFASTA(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// ReadFASTQ parses all records from a FASTQ stream (4-line records).
-func ReadFASTQ(r io.Reader) ([]Record, error) {
+// FASTQScanner decodes FASTQ records incrementally from a stream: one
+// strict 4-line record per Scan call, with no full-file buffering, so a
+// read set can flow straight into a mapping pipeline without ever being
+// materialized. Blank lines are tolerated between records only; inside a
+// record every line must be present and non-blank, the third line must be
+// the '+' separator, and the quality string must match the sequence length
+// — a mis-framed file (e.g. wrapped sequence lines) fails with a
+// line-numbered error instead of silently pairing the wrong quality with a
+// sequence. CRLF line endings are accepted.
+type FASTQScanner struct {
+	sc   *bufio.Scanner
+	line int // 1-based number of the last line consumed
+	rec  Record
+	err  error
+}
+
+// NewFASTQScanner wraps a reader for incremental FASTQ decoding.
+func NewFASTQScanner(r io.Reader) *FASTQScanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
-	var recs []Record
-	line := 0
-	for sc.Scan() {
-		line++
-		hdr := bytes.TrimSpace(sc.Bytes())
-		if len(hdr) == 0 {
-			continue
-		}
-		if hdr[0] != '@' {
-			return nil, fmt.Errorf("dna: fastq line %d: expected '@', got %q", line, hdr[0])
-		}
-		rec := Record{Name: string(hdr[1:])}
-		if !sc.Scan() {
-			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing sequence)", line)
-		}
-		line++
-		rec.Seq = append(rec.Seq, bytes.TrimSpace(sc.Bytes())...)
-		if !sc.Scan() {
-			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing '+')", line)
-		}
-		line++
-		if !sc.Scan() {
-			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing quality)", line)
-		}
-		line++
-		rec.Qual = append(rec.Qual, bytes.TrimSpace(sc.Bytes())...)
-		if len(rec.Qual) != len(rec.Seq) {
-			return nil, fmt.Errorf("dna: fastq line %d: quality length %d != sequence length %d",
-				line, len(rec.Qual), len(rec.Seq))
-		}
-		recs = append(recs, rec)
+	return &FASTQScanner{sc: sc}
+}
+
+// Scan advances to the next record, returning false at end of input or on
+// the first malformed record; Err distinguishes the two.
+func (s *FASTQScanner) Scan() bool {
+	if s.err != nil {
+		return false
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dna: fastq scan: %w", err)
+	// Skip blank lines between records (never inside them).
+	var hdr []byte
+	for {
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				s.err = fmt.Errorf("dna: fastq scan: %w", err)
+			}
+			return false
+		}
+		s.line++
+		hdr = bytes.TrimSpace(s.sc.Bytes())
+		if len(hdr) > 0 {
+			break
+		}
+	}
+	if hdr[0] != '@' {
+		s.err = fmt.Errorf("dna: fastq line %d: expected '@', got %q", s.line, hdr[0])
+		return false
+	}
+	rec := Record{Name: string(hdr[1:])}
+	seq, ok := s.recordLine("sequence")
+	if !ok {
+		return false
+	}
+	rec.Seq = append([]byte(nil), seq...)
+	sep, ok := s.recordLine("'+'")
+	if !ok {
+		return false
+	}
+	if sep[0] != '+' {
+		s.err = fmt.Errorf("dna: fastq line %d: expected '+' separator, got %q (wrapped sequence lines are not supported)",
+			s.line, sep[0])
+		return false
+	}
+	qual, ok := s.recordLine("quality")
+	if !ok {
+		return false
+	}
+	rec.Qual = append([]byte(nil), qual...)
+	if len(rec.Qual) != len(rec.Seq) {
+		s.err = fmt.Errorf("dna: fastq line %d: quality length %d != sequence length %d",
+			s.line, len(rec.Qual), len(rec.Seq))
+		return false
+	}
+	s.rec = rec
+	return true
+}
+
+// recordLine consumes one in-record line, which must exist and be non-blank.
+func (s *FASTQScanner) recordLine(what string) ([]byte, bool) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			s.err = fmt.Errorf("dna: fastq scan: %w", err)
+		} else {
+			s.err = fmt.Errorf("dna: fastq line %d: truncated record (missing %s)", s.line, what)
+		}
+		return nil, false
+	}
+	s.line++
+	b := bytes.TrimSpace(s.sc.Bytes())
+	if len(b) == 0 {
+		s.err = fmt.Errorf("dna: fastq line %d: blank %s line inside record", s.line, what)
+		return nil, false
+	}
+	return b, true
+}
+
+// Record returns the record produced by the last successful Scan. Its
+// buffers are freshly allocated per record and may be retained.
+func (s *FASTQScanner) Record() Record { return s.rec }
+
+// Err returns the terminal decode error, nil at clean end of input.
+func (s *FASTQScanner) Err() error { return s.err }
+
+// Line returns the number of input lines consumed so far.
+func (s *FASTQScanner) Line() int { return s.line }
+
+// ReadFASTQ parses all records from a FASTQ stream (strict 4-line records).
+// It shares the framing rules of FASTQScanner, which it delegates to.
+func ReadFASTQ(r io.Reader) ([]Record, error) {
+	s := NewFASTQScanner(r)
+	var recs []Record
+	for s.Scan() {
+		recs = append(recs, s.Record())
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
 	}
 	return recs, nil
 }

@@ -1,0 +1,157 @@
+package dna
+
+import (
+	"strings"
+	"testing"
+)
+
+// scanAll drives the incremental decoder record by record, the way a
+// streaming consumer would.
+func scanAll(input string) ([]Record, error) {
+	sc := NewFASTQScanner(strings.NewReader(input))
+	var recs []Record
+	for sc.Scan() {
+		recs = append(recs, sc.Record())
+	}
+	return recs, sc.Err()
+}
+
+// TestFASTQScannerMatchesReadFASTQ is the differential suite: on every
+// input — clean, CRLF, blank-padded, wrapped, truncated at each framing
+// position, mis-framed — the incremental decoder and the whole-file
+// ReadFASTQ must produce identical records and identical errors.
+func TestFASTQScannerMatchesReadFASTQ(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"blank only", "\n\n  \n"},
+		{"one record", "@r1\nACGT\n+\nIIII\n"},
+		{"two records", "@r1\nACGT\n+\nIIII\n@r2 desc here\nTTTT\n+\nJJJJ\n"},
+		{"separator with name", "@r1\nACGT\n+r1\nIIII\n"},
+		{"crlf", "@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTTT\r\n+\r\nJJJJ\r\n"},
+		{"blank between records", "@r1\nACGT\n+\nIIII\n\n\n@r2\nTTTT\n+\nJJJJ\n"},
+		{"no trailing newline", "@r1\nACGT\n+\nIIII"},
+		{"wrapped sequence", "@r1\nACGT\nACGT\n+\nIIIIIIII\n"},
+		{"missing at", "r1\nACGT\n+\nIIII\n"},
+		{"truncated after header", "@r1\n"},
+		{"truncated after sequence", "@r1\nACGT\n"},
+		{"truncated after separator", "@r1\nACGT\n+\n"},
+		{"quality length mismatch", "@r1\nACGT\n+\nII\n"},
+		{"blank sequence line", "@r1\n\n+\nIIII\n"},
+		{"blank quality line", "@r1\nACGT\n+\n\n@r2\nTTTT\n+\nJJJJ\n"},
+		{"quality starts with at", "@r1\nACGT\n+\n@III\n"},
+		{"second record bad", "@r1\nACGT\n+\nIIII\n@r2\nTT\nII\n+\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			whole, wholeErr := ReadFASTQ(strings.NewReader(tc.input))
+			inc, incErr := scanAll(tc.input)
+			if (wholeErr == nil) != (incErr == nil) {
+				t.Fatalf("error disagreement: ReadFASTQ=%v scanner=%v", wholeErr, incErr)
+			}
+			if wholeErr != nil {
+				// ReadFASTQ discards the records before the damage; the
+				// scanner has already delivered them. Errors must agree.
+				if wholeErr.Error() != incErr.Error() {
+					t.Fatalf("error text drifted:\nReadFASTQ: %v\nscanner:   %v", wholeErr, incErr)
+				}
+				return
+			}
+			if len(whole) != len(inc) {
+				t.Fatalf("record count drifted: ReadFASTQ=%d scanner=%d", len(whole), len(inc))
+			}
+			for i := range whole {
+				if whole[i].Name != inc[i].Name || string(whole[i].Seq) != string(inc[i].Seq) ||
+					string(whole[i].Qual) != string(inc[i].Qual) {
+					t.Fatalf("record %d drifted: %+v vs %+v", i, whole[i], inc[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFASTQRejectsWrappedSequence(t *testing.T) {
+	// The old decoder silently treated a wrapped sequence's continuation as
+	// the '+' line and the '+' line as quality, pairing the wrong quality
+	// with the sequence. The separator check turns that into a line-numbered
+	// error.
+	_, err := ReadFASTQ(strings.NewReader("@r1\nACGTACGT\nACGTACGT\n+\nIIIIIIIIIIIIIIII\n"))
+	if err == nil {
+		t.Fatal("wrapped sequence accepted")
+	}
+	if !strings.Contains(err.Error(), "'+' separator") || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not name the separator and line: %v", err)
+	}
+}
+
+func TestFASTQRejectsBlankLineInsideRecord(t *testing.T) {
+	for _, tc := range []struct{ name, input, wantLine string }{
+		{"blank sequence", "@r1\n\n+\nIIII\n", "line 2"},
+		{"blank separator", "@r1\nACGT\n\nIIII\n", "line 3"},
+		{"blank quality", "@r1\nACGT\n+\n\n", "line 4"},
+	} {
+		_, err := ReadFASTQ(strings.NewReader(tc.input))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), "blank") || !strings.Contains(err.Error(), tc.wantLine) {
+			t.Fatalf("%s: error does not report the blank line with its number: %v", tc.name, err)
+		}
+	}
+}
+
+func TestFASTQScannerCRLFAndNames(t *testing.T) {
+	recs, err := scanAll("@read/1 pos=42\r\nACGTN\r\n+\r\nIIIII\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Name != "read/1 pos=42" {
+		t.Fatalf("name %q", recs[0].Name)
+	}
+	if string(recs[0].Seq) != "ACGTN" || string(recs[0].Qual) != "IIIII" {
+		t.Fatalf("record %+v", recs[0])
+	}
+}
+
+func TestFASTQScannerStopsAtFirstError(t *testing.T) {
+	// The record before the damage is still delivered; Scan then reports
+	// false forever with the same terminal error.
+	sc := NewFASTQScanner(strings.NewReader("@r1\nACGT\n+\nIIII\n@r2\nACGT\nIIII\n+\n"))
+	if !sc.Scan() {
+		t.Fatalf("first record not delivered: %v", sc.Err())
+	}
+	if sc.Record().Name != "r1" {
+		t.Fatalf("record %+v", sc.Record())
+	}
+	if sc.Scan() {
+		t.Fatal("mis-framed record delivered")
+	}
+	err := sc.Err()
+	if err == nil || !strings.Contains(err.Error(), "line 7") {
+		t.Fatalf("want '+' error at line 7, got %v", err)
+	}
+	if sc.Scan() || sc.Err() != err {
+		t.Fatal("scanner did not stay stopped on its terminal error")
+	}
+}
+
+func TestFASTQScannerRecordBuffersIndependent(t *testing.T) {
+	// Streaming consumers retain Record() buffers while the scanner moves
+	// on; the buffers must not be aliased to the scanner's internals.
+	sc := NewFASTQScanner(strings.NewReader("@r1\nAAAA\n+\nIIII\n@r2\nCCCC\n+\nJJJJ\n"))
+	if !sc.Scan() {
+		t.Fatal(sc.Err())
+	}
+	first := sc.Record()
+	if !sc.Scan() {
+		t.Fatal(sc.Err())
+	}
+	if string(first.Seq) != "AAAA" || string(first.Qual) != "IIII" {
+		t.Fatalf("first record mutated by later Scan: %+v", first)
+	}
+}

@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/dna"
+	"repro/internal/gkgpu"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/simdata"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "streamingest",
+		PaperRef: "beyond the paper (streaming ingestion)",
+		Title:    "Materialized vs channel-fed FASTQ ingestion (wall seconds, peak heap)",
+		Run:      runStreamIngest,
+	})
+}
+
+// runStreamIngest compares the two ways a FASTQ read set can enter the
+// end-to-end mapper: materialized (decode the whole file into [][]byte,
+// then MapStream) versus channel-fed (dna.FASTQScanner records flowing
+// straight into MapReadStream as they decode, nothing retained). Both paths
+// execute the same filtrations and verifications — the mappings are checked
+// byte-identical — while the channel-fed path overlaps decoding with
+// mapping and holds only in-flight reads, which the sampled peak heap
+// makes visible.
+func runStreamIngest(o Options) error {
+	const genomeLen, e, L = 300_000, 5, 100
+	nReads := o.scaled(3_000)
+	cfg := simdata.DefaultGenomeConfig(genomeLen)
+	cfg.Seed = o.Seed
+	genome := simdata.Genome(cfg)
+	reads, err := simdata.SimulateReads(genome, simdata.Illumina100, nReads, o.Seed+1)
+	if err != nil {
+		return err
+	}
+	recs := make([]dna.Record, len(reads))
+	for i, r := range reads {
+		recs[i] = dna.Record{Name: fmt.Sprintf("read%d", i), Seq: r.Seq}
+	}
+	var blob bytes.Buffer
+	if err := dna.WriteFASTQ(&blob, recs); err != nil {
+		return err
+	}
+	fastq := blob.Bytes()
+	recs, reads = nil, nil
+
+	mk := func() (*mapper.Mapper, *gkgpu.Engine, error) {
+		eng, err := gkgpu.NewEngine(gkgpu.Config{
+			ReadLen: L, MaxE: e, Encoding: gkgpu.EncodeOnHost, MaxBatchPairs: 1 << 15,
+		}, cuda.NewUniformContext(1, cuda.GTX1080Ti()))
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := mapper.New(genome, mapper.Config{ReadLen: L, MaxE: e, SeedLen: 9, Filter: eng})
+		if err != nil {
+			eng.Close()
+			return nil, nil, err
+		}
+		return m, eng, nil
+	}
+
+	// liveHeap forces a collection and returns the surviving heap — what a
+	// path actually retains, as opposed to what it churned through.
+	liveHeap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	// measure runs one ingestion path with a heap sampler alongside (peak
+	// HeapAlloc over a GC'd baseline: allocation pressure at the worst
+	// moment) and takes the run's own end-of-run live-heap reading, which
+	// the run closure records while its inputs are still in scope.
+	measure := func(run func(m *mapper.Mapper, live *uint64) ([]mapper.Mapping, mapper.Stats, error)) ([]mapper.Mapping, mapper.Stats, float64, uint64, uint64, error) {
+		m, eng, err := mk()
+		if err != nil {
+			return nil, mapper.Stats{}, 0, 0, 0, err
+		}
+		defer eng.Close()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		base := ms.HeapAlloc
+		var peak atomic.Uint64
+		peak.Store(base)
+		stop := make(chan struct{})
+		samplerDone := make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			var s runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				runtime.ReadMemStats(&s)
+				for {
+					cur := peak.Load()
+					if s.HeapAlloc <= cur || peak.CompareAndSwap(cur, s.HeapAlloc) {
+						break
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+		t0 := time.Now()
+		var live uint64
+		mappings, st, err := run(m, &live)
+		wall := time.Since(t0).Seconds()
+		close(stop)
+		<-samplerDone
+		over := uint64(0)
+		if p := peak.Load(); p > base {
+			over = p - base
+		}
+		liveOver := uint64(0)
+		if live > base {
+			liveOver = live - base
+		}
+		return mappings, st, wall, over, liveOver, err
+	}
+
+	matMappings, matStats, matWall, matPeak, matLive, err := measure(func(m *mapper.Mapper, live *uint64) ([]mapper.Mapping, mapper.Stats, error) {
+		all, err := dna.ReadFASTQ(bytes.NewReader(fastq))
+		if err != nil {
+			return nil, mapper.Stats{}, err
+		}
+		seqs := make([][]byte, len(all))
+		for i, r := range all {
+			seqs[i] = r.Seq
+		}
+		mappings, st, err := m.MapStream(seqs, e)
+		*live = liveHeap() // the decoded read set is still live here
+		// Pin the read set AND the mapper through the reading: Go liveness
+		// is last-use-based, and letting the index die here would offset
+		// the retention the reading exists to show.
+		runtime.KeepAlive(all)
+		runtime.KeepAlive(seqs)
+		runtime.KeepAlive(m)
+		return mappings, st, err
+	})
+	if err != nil {
+		return err
+	}
+
+	strMappings, strStats, strWall, strPeak, strLive, err := measure(func(m *mapper.Mapper, live *uint64) ([]mapper.Mapping, mapper.Stats, error) {
+		ch := make(chan mapper.Read, 64)
+		decodeErr := make(chan error, 1)
+		go func() {
+			defer close(ch)
+			sc := dna.NewFASTQScanner(bytes.NewReader(fastq))
+			for sc.Scan() {
+				rec := sc.Record()
+				ch <- mapper.Read{Name: rec.Name, Seq: rec.Seq}
+			}
+			decodeErr <- sc.Err()
+		}()
+		mappings, st, err := m.MapReadStream(ch, e)
+		if derr := <-decodeErr; err == nil && derr != nil {
+			err = derr
+		}
+		*live = liveHeap() // nothing of the read set is retained here
+		runtime.KeepAlive(m)
+		return mappings, st, err
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(strMappings) != len(matMappings) {
+		return fmt.Errorf("streamingest: channel-fed produced %d mappings, materialized %d",
+			len(strMappings), len(matMappings))
+	}
+	for i := range strMappings {
+		if strMappings[i] != matMappings[i] {
+			return fmt.Errorf("streamingest: mapping %d drifted: channel-fed %+v materialized %+v",
+				i, strMappings[i], matMappings[i])
+		}
+	}
+	if strStats.Reads != matStats.Reads || strStats.CandidatePairs != matStats.CandidatePairs ||
+		strStats.RejectedPairs != matStats.RejectedPairs {
+		return fmt.Errorf("streamingest: counters drifted:\nchannel-fed  %+v\nmaterialized %+v", strStats, matStats)
+	}
+
+	fmt.Fprintf(o.Out, "%d reads (%.1f MB FASTQ), %d candidates, e=%d, %d workers (GOMAXPROCS)\n\n",
+		nReads, float64(len(fastq))/1e6, matStats.CandidatePairs, e, runtime.GOMAXPROCS(0))
+	tb := metrics.NewTable("ingestion", "wall (s)", "peak heap (MB)", "retained at end (MB)", "mapped reads")
+	tb.Add("materialized (ReadFASTQ + MapStream)",
+		fmt.Sprintf("%.3f", matWall), fmt.Sprintf("%.2f", float64(matPeak)/1e6),
+		fmt.Sprintf("%.2f", float64(matLive)/1e6),
+		fmt.Sprintf("%d", matStats.MappedReads))
+	tb.Add("channel-fed (FASTQScanner + MapReadStream)",
+		fmt.Sprintf("%.3f", strWall), fmt.Sprintf("%.2f", float64(strPeak)/1e6),
+		fmt.Sprintf("%.2f", float64(strLive)/1e6),
+		fmt.Sprintf("%d", strStats.MappedReads))
+	fmt.Fprint(o.Out, tb.String())
+	fmt.Fprintln(o.Out, "\nShape checks: mappings byte-identical on both paths. The channel-fed path never")
+	fmt.Fprintln(o.Out, "holds the decoded read set — a record's bytes are garbage once its candidates")
+	fmt.Fprintln(o.Out, "verify — so what it retains at end of run (GC'd live heap, both columns over a")
+	fmt.Fprintln(o.Out, "common baseline) stays flat while the materialized path's grows with the input;")
+	fmt.Fprintln(o.Out, "peak heap is allocation pressure sampled mid-run. Run at scale >= 1 for clear gaps.")
+
+	// Enforce the retention claim where it is unambiguous: once the decoded
+	// read set dwarfs sampling noise, the channel-fed path must retain less
+	// than the materialized path still holding every sequence.
+	if nReads*L >= 4<<20 && strLive >= matLive {
+		return fmt.Errorf("streamingest: channel-fed retained %.2f MB at end of run, materialized %.2f MB",
+			float64(strLive)/1e6, float64(matLive)/1e6)
+	}
+	return nil
+}

@@ -96,9 +96,18 @@ type Stats struct {
 	// overlapped seed → filter → verify pipeline actually took.
 	PipelineWallSeconds float64
 
-	// Paired-end accounting, populated by MapPairs only.
+	// Paired-end accounting, populated by MapPairs and MapPairStream only.
 	ReadPairs       int64 // input mate pairs
 	ConcordantPairs int64 // pairs resolved inside the insert window
+
+	// Insert-window accounting, populated by MapPairs and MapPairStream
+	// only. The window is the one concordance was resolved against; the
+	// estimate fields stay zero when the caller passed an explicit window.
+	InsertWindowMin    int
+	InsertWindowMax    int
+	InsertMean         float64 // estimated mean fragment length
+	InsertStd          float64 // estimated fragment length std deviation
+	InsertSampledPairs int64   // confident pairs behind the estimate
 }
 
 // StageSeconds is the modelled serial cost of the pipeline: what seeding,

@@ -2,6 +2,7 @@ package mapper
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dna"
@@ -16,7 +17,8 @@ type ReadPair struct {
 
 // InsertWindow bounds the accepted fragment length (outer distance: leftmost
 // mapped base of one mate to rightmost mapped base of the other) for a
-// concordant pair.
+// concordant pair. The zero value asks the mapper to estimate the window
+// from the data (EstimateInsertWindow), as real mappers do.
 type InsertWindow struct {
 	Min, Max int
 }
@@ -30,6 +32,22 @@ type PairMapping struct {
 	Insert       int
 }
 
+// checkInsertWindow validates an explicit window; the zero value passes
+// (it selects estimation at resolution time).
+func checkInsertWindow(win InsertWindow, readLen int) error {
+	if win == (InsertWindow{}) {
+		return nil
+	}
+	if win.Min < 0 || win.Max < win.Min {
+		return fmt.Errorf("mapper: insert window [%d,%d] invalid", win.Min, win.Max)
+	}
+	if win.Min < readLen {
+		return fmt.Errorf("mapper: insert window minimum %d below read length %d",
+			win.Min, readLen)
+	}
+	return nil
+}
+
 // MapPairs maps read pairs through the streaming pipeline and resolves
 // concordant pairs: both mates mapped in compatible orientation with the
 // fragment length inside the insert window. Each pair contributes at most
@@ -37,17 +55,16 @@ type PairMapping struct {
 // (leftmost, then shortest insert, on ties). R1 is mapped as-is and R2 as
 // its reverse complement, the FR orientation; under Config.BothStrands a
 // fragment from the opposite strand is also found, as the combination where
-// both mates' mappings carry Reverse=true.
+// both mates' mappings carry Reverse=true. A zero-value win estimates the
+// window from a sample of confidently mapped pairs (EstimateInsertWindow).
 //
 // The returned Stats are MapStream's for the interleaved 2n mate reads,
-// with ReadPairs and ConcordantPairs filled in.
+// with the paired-end accounting (ReadPairs, ConcordantPairs, the window
+// used and any estimate behind it) filled in. MapPairStream is the
+// channel-fed form.
 func (m *Mapper) MapPairs(pairs []ReadPair, e int, win InsertWindow) ([]PairMapping, Stats, error) {
-	if win.Min < 0 || win.Max < win.Min {
-		return nil, Stats{}, fmt.Errorf("mapper: insert window [%d,%d] invalid", win.Min, win.Max)
-	}
-	if win.Min < m.cfg.ReadLen {
-		return nil, Stats{}, fmt.Errorf("mapper: insert window minimum %d below read length %d",
-			win.Min, m.cfg.ReadLen)
+	if err := checkInsertWindow(win, m.cfg.ReadLen); err != nil {
+		return nil, Stats{}, err
 	}
 	// Interleave the mates so one streaming pass maps both: query 2i is R1
 	// of pair i, query 2i+1 is the reverse complement of its R2.
@@ -60,6 +77,30 @@ func (m *Mapper) MapPairs(pairs []ReadPair, e int, win InsertWindow) ([]PairMapp
 		return nil, st, err
 	}
 	st.ReadPairs = int64(len(pairs))
+	resolved, err := m.resolveConcordant(mappings, win, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	return resolved, st, nil
+}
+
+// resolveConcordant groups interleaved-mate mappings (readID 2i = mate1,
+// 2i+1 = reverse-complemented mate2) into concordant pairs under win,
+// estimating the window first when win is zero, and records the window and
+// pairing counters into st.
+func (m *Mapper) resolveConcordant(mappings []Mapping, win InsertWindow, st *Stats) ([]PairMapping, error) {
+	if win == (InsertWindow{}) {
+		var est InsertEstimate
+		var ok bool
+		win, est, ok = EstimateInsertWindow(mappings, m.cfg.ReadLen, 0)
+		if !ok {
+			return nil, fmt.Errorf("mapper: cannot estimate insert window: only %d confidently mapped pairs (need %d); pass an explicit window",
+				est.SampledPairs, minInsertSample)
+		}
+		st.InsertMean, st.InsertStd = est.Mean, est.Std
+		st.InsertSampledPairs = int64(est.SampledPairs)
+	}
+	st.InsertWindowMin, st.InsertWindowMax = win.Min, win.Max
 
 	L := m.cfg.ReadLen
 	var resolved []PairMapping
@@ -83,7 +124,7 @@ func (m *Mapper) MapPairs(pairs []ReadPair, e int, win InsertWindow) ([]PairMapp
 	}
 	st.ConcordantPairs = int64(len(resolved))
 	sort.Slice(resolved, func(i, j int) bool { return resolved[i].PairID < resolved[j].PairID })
-	return resolved, st, nil
+	return resolved, nil
 }
 
 // resolvePair picks the best concordant combination of one pair's mate
@@ -136,4 +177,127 @@ func resolvePair(pairID int, m1, m2 []Mapping, L int, win InsertWindow) (PairMap
 		}
 	}
 	return best, found
+}
+
+// minInsertSample is the fewest confidently mapped pairs an insert-window
+// estimate may rest on; defaultInsertSample caps how many it measures.
+const (
+	minInsertSample     = 8
+	defaultInsertSample = 10_000
+)
+
+// InsertEstimate reports the sample statistics behind an estimated insert
+// window.
+type InsertEstimate struct {
+	SampledPairs int // confident pairs the estimate drew on (after outlier trimming)
+	Mean, Std    float64
+}
+
+// EstimateInsertWindow infers the concordance window real mappers guess
+// from the data itself, removing the need for an explicit -insert-min/-max:
+// it walks single-end mappings of interleaved mates (readID 2i = mate1,
+// 2i+1 = reverse-complemented mate2, MapPairs' layout), measures the
+// fragment length of every confidently mapped pair — both mates mapped
+// uniquely, same strand, proper FR order — and fits mean and standard
+// deviation to the sample. Wild fragments (a unique mis-mapping placing the
+// mates arbitrarily far apart) are discarded beyond ~6 robust standard
+// deviations of the median before fitting, MAD-style, so a handful of
+// outliers cannot blow the window open.
+//
+// The window is mean ± (4·std + readLen/4): four sigma covers essentially
+// the whole fragment distribution and the readLen/4 pad keeps the window
+// from under-covering on small or low-variance samples. Min is clamped to
+// readLen. maxSample caps the pairs measured (<=0 uses 10,000); ok is
+// false when fewer than minInsertSample confident pairs exist.
+func EstimateInsertWindow(mappings []Mapping, readLen, maxSample int) (InsertWindow, InsertEstimate, bool) {
+	if maxSample <= 0 {
+		maxSample = defaultInsertSample
+	}
+	var inserts []float64
+	for lo := 0; lo < len(mappings) && len(inserts) < maxSample; {
+		pairID := mappings[lo].ReadID / 2
+		hi := lo
+		var a, b Mapping
+		var n1, n2 int
+		for ; hi < len(mappings) && mappings[hi].ReadID/2 == pairID; hi++ {
+			if mappings[hi].ReadID%2 == 0 {
+				a, n1 = mappings[hi], n1+1
+			} else {
+				b, n2 = mappings[hi], n2+1
+			}
+		}
+		lo = hi
+		if n1 != 1 || n2 != 1 || a.Reverse != b.Reverse {
+			continue
+		}
+		if !a.Reverse && b.Pos < a.Pos {
+			continue
+		}
+		if a.Reverse && a.Pos < b.Pos {
+			continue
+		}
+		pl, ph := a.Pos, b.Pos
+		if ph < pl {
+			pl, ph = ph, pl
+		}
+		inserts = append(inserts, float64(ph+readLen-pl))
+	}
+	if len(inserts) < minInsertSample {
+		return InsertWindow{}, InsertEstimate{SampledPairs: len(inserts)}, false
+	}
+
+	// Robust outlier trim: keep inserts within 6 MAD-sigmas of the median
+	// (floored at readLen so a tight library does not trim itself away).
+	sort.Float64s(inserts)
+	med := quantile(inserts, 0.5)
+	devs := make([]float64, len(inserts))
+	for i, x := range inserts {
+		devs[i] = math.Abs(x - med)
+	}
+	sort.Float64s(devs)
+	cutoff := 6 * 1.4826 * quantile(devs, 0.5)
+	if cutoff < float64(readLen) {
+		cutoff = float64(readLen)
+	}
+	var kept []float64
+	for _, x := range inserts {
+		if math.Abs(x-med) <= cutoff {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) < minInsertSample {
+		return InsertWindow{}, InsertEstimate{SampledPairs: len(kept)}, false
+	}
+
+	var sum float64
+	for _, x := range kept {
+		sum += x
+	}
+	mean := sum / float64(len(kept))
+	var ss float64
+	for _, x := range kept {
+		ss += (x - mean) * (x - mean)
+	}
+	std := math.Sqrt(ss / float64(len(kept)))
+
+	half := 4*std + float64(readLen)/4
+	lo := int(math.Floor(mean - half))
+	hi := int(math.Ceil(mean + half))
+	if lo < readLen {
+		lo = readLen
+	}
+	if hi < lo {
+		hi = lo
+	}
+	est := InsertEstimate{SampledPairs: len(kept), Mean: mean, Std: std}
+	return InsertWindow{Min: lo, Max: hi}, est, true
+}
+
+// quantile returns the q-quantile of sorted xs by nearest-rank.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
 }

@@ -1,0 +1,140 @@
+package mapper
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dna"
+)
+
+// Read is one named read arriving on a channel — the ingestion unit of
+// MapReadStream. Name is used for error messages only; callers that need
+// names later (SAM QNAMEs) keep their own record.
+type Read struct {
+	Name string
+	Seq  []byte
+}
+
+// PairRead is one named FR mate pair arriving on a channel — the ingestion
+// unit of MapPairStream. R1 and R2 are as sequenced (R2 reverse-complement
+// oriented), exactly like ReadPair.
+type PairRead struct {
+	Name   string
+	R1, R2 []byte
+}
+
+// MapReadStream is the channel-fed MapStream: reads enter the overlapped
+// seeding → filter-stream → verification pipeline as they arrive from in
+// (a FASTQ decoder, a network source), so the read set is never
+// materialized — the mapper retains no reference to a sequence once its
+// candidates are verified, and peak memory is bounded by in-flight work,
+// not input size.
+//
+// ReadIDs are assigned in arrival order, so the output is byte-identical
+// to MapStream over the same records collected into a slice. The producer
+// must close in; on a terminal error (wrong-length record, filter failure)
+// the remaining input is drained and discarded so the producer never
+// blocks.
+func (m *Mapper) MapReadStream(in <-chan Read, e int) ([]Mapping, Stats, error) {
+	var reads int64
+	mappings, st, err := m.mapQueryStream(e, func(ctx context.Context, out chan<- streamQuery) error {
+		defer drain(in)
+		id := 0
+		for r := range in {
+			if len(r.Seq) != m.cfg.ReadLen {
+				return fmt.Errorf("mapper: streamed read %d (%q) has length %d, mapper built for %d",
+					id, r.Name, len(r.Seq), m.cfg.ReadLen)
+			}
+			if !sendQuery(ctx, out, streamQuery{readID: id, seq: r.Seq}) {
+				return nil
+			}
+			if m.cfg.BothStrands {
+				q := streamQuery{readID: id, reverse: true, seq: dna.ReverseComplement(r.Seq)}
+				if !sendQuery(ctx, out, q) {
+					return nil
+				}
+			}
+			id++
+		}
+		reads = int64(id)
+		return nil
+	})
+	if err != nil {
+		// The feed closure drains in when it runs; errors raised before it
+		// starts (threshold validation, filter-stream open failure) must
+		// honor the never-block guarantee too. Draining an already-drained
+		// closed channel is a no-op.
+		go drain(in)
+		return nil, Stats{}, err
+	}
+	st.Reads = reads
+	return mappings, st, nil
+}
+
+// MapPairStream is the channel-fed MapPairs: mate pairs enter the streaming
+// pipeline as they arrive (each pair as its two interleaved mate queries,
+// R1 forward and R2 reverse-complemented) and concordant pairs are resolved
+// once the stream ends. A zero-value win estimates the insert window from
+// the mapped sample (EstimateInsertWindow), as MapPairs does.
+//
+// The producer must close in; on a terminal error the remaining input is
+// drained and discarded so the producer never blocks. Output is identical
+// to MapPairs over the same pairs collected into a slice.
+func (m *Mapper) MapPairStream(in <-chan PairRead, e int, win InsertWindow) ([]PairMapping, Stats, error) {
+	if err := checkInsertWindow(win, m.cfg.ReadLen); err != nil {
+		go drain(in) // never-block guarantee: see MapReadStream
+		return nil, Stats{}, err
+	}
+	var nPairs int64
+	mappings, st, err := m.mapQueryStream(e, func(ctx context.Context, out chan<- streamQuery) error {
+		defer drain(in)
+		id := 0
+		for p := range in {
+			if len(p.R1) != m.cfg.ReadLen || len(p.R2) != m.cfg.ReadLen {
+				return fmt.Errorf("mapper: streamed pair %d (%q) has mate lengths %d/%d, mapper built for %d",
+					id, p.Name, len(p.R1), len(p.R2), m.cfg.ReadLen)
+			}
+			if !m.feedMate(ctx, out, 2*id, p.R1) {
+				return nil
+			}
+			if !m.feedMate(ctx, out, 2*id+1, dna.ReverseComplement(p.R2)) {
+				return nil
+			}
+			id++
+		}
+		nPairs = int64(id)
+		return nil
+	})
+	if err != nil {
+		go drain(in) // never-block guarantee: see MapReadStream
+		return nil, st, err
+	}
+	st.ReadPairs = nPairs
+	resolved, err := m.resolveConcordant(mappings, win, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	return resolved, st, nil
+}
+
+// feedMate sends one mate query (and its reverse complement under
+// Config.BothStrands) into the pipeline.
+func (m *Mapper) feedMate(ctx context.Context, out chan<- streamQuery, readID int, seq []byte) bool {
+	if !sendQuery(ctx, out, streamQuery{readID: readID, seq: seq}) {
+		return false
+	}
+	if m.cfg.BothStrands {
+		q := streamQuery{readID: readID, reverse: true, seq: dna.ReverseComplement(seq)}
+		if !sendQuery(ctx, out, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// drain discards the rest of a channel so its producer can finish sending
+// and close it.
+func drain[T any](ch <-chan T) {
+	for range ch {
+	}
+}

@@ -4,17 +4,39 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/dna"
 )
 
+// samQName makes a FASTQ name SAM-legal: the name up to the first
+// whitespace (SAM QNAMEs cannot contain it; FASTQ headers often carry a
+// description after the id), or the fallback when nothing remains.
+func samQName(name, fallback string) string {
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	if name == "" {
+		return fallback
+	}
+	return name
+}
+
+func writeSAMHeader(bw *bufio.Writer, refName string, refLen int) error {
+	_, err := fmt.Fprintf(bw, "@HD\tVN:1.6\tSO:unsorted\n@SQ\tSN:%s\tLN:%d\n@PG\tID:gatekeeper-gpu-repro\tPN:gkmap\n",
+		refName, refLen)
+	return err
+}
+
 // WriteSAM emits mappings as minimal single-reference SAM records (header,
 // one line per mapping, NM tag carrying the verified edit distance), enough
-// for downstream tooling to consume the reproduction's output.
-func WriteSAM(w io.Writer, refName string, refLen int, reads [][]byte, mappings []Mapping) error {
+// for downstream tooling to consume the reproduction's output. names carries
+// the reads' FASTQ names for the QNAME column (truncated at the first
+// whitespace); a nil or short names slice falls back to read%d for the
+// uncovered reads, which is how simulated read sets are written.
+func WriteSAM(w io.Writer, refName string, refLen int, names []string, reads [][]byte, mappings []Mapping) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "@HD\tVN:1.6\tSO:unsorted\n@SQ\tSN:%s\tLN:%d\n@PG\tID:gatekeeper-gpu-repro\tPN:gkmap\n",
-		refName, refLen); err != nil {
+	if err := writeSAMHeader(bw, refName, refLen); err != nil {
 		return err
 	}
 	for _, m := range mappings {
@@ -31,8 +53,86 @@ func WriteSAM(w io.Writer, refName string, refLen int, reads [][]byte, mappings 
 		if cigar == "" {
 			cigar = fmt.Sprintf("%dM", len(read))
 		}
-		if _, err := fmt.Fprintf(bw, "read%d\t%d\t%s\t%d\t255\t%s\t*\t0\t0\t%s\t*\tNM:i:%d\n",
-			m.ReadID, flag, refName, m.Pos+1, cigar, read, m.Distance); err != nil {
+		qname := fmt.Sprintf("read%d", m.ReadID)
+		if m.ReadID < len(names) {
+			qname = samQName(names[m.ReadID], qname)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t*\t0\t0\t%s\t*\tNM:i:%d\n",
+			qname, flag, refName, m.Pos+1, cigar, read, m.Distance); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePairedSAM emits resolved concordant pairs as standard paired-end SAM:
+// two records per PairMapping sharing one QNAME, with the paired flags
+// (0x1 paired, 0x2 proper, 0x10/0x20 strand and mate strand, 0x40/0x80
+// first/last in pair), RNEXT '=' , PNEXT pointing at the mate, and TLEN
+// signed positive on the leftmost record. SEQ is the aligned orientation
+// (R2 of a forward-strand fragment prints reverse-complemented with 0x10
+// set, exactly as mappers emit FR libraries). names carries the pairs'
+// FASTQ names (pair%d fallback); pairs supplies the mate sequences.
+func WritePairedSAM(w io.Writer, refName string, refLen int, names []string, pairs []ReadPair, resolved []PairMapping) error {
+	bw := bufio.NewWriter(w)
+	if err := writeSAMHeader(bw, refName, refLen); err != nil {
+		return err
+	}
+	for _, pm := range resolved {
+		if pm.PairID < 0 || pm.PairID >= len(pairs) {
+			return fmt.Errorf("mapper: pair mapping references pair %d of %d", pm.PairID, len(pairs))
+		}
+		p := pairs[pm.PairID]
+		fallback := fmt.Sprintf("pair%d", pm.PairID)
+		qname := fallback
+		if pm.PairID < len(names) {
+			qname = samQName(names[pm.PairID], fallback)
+			// Both records share one QNAME; drop R1's legacy mate suffix.
+			if t := strings.TrimSuffix(qname, "/1"); t != "" {
+				qname = t
+			}
+		}
+		// Aligned-orientation sequences. Mate1's query is R1 itself; Mate2's
+		// query is the reverse complement of R2, so the R2 record prints
+		// revcomp(R2) when that query mapped forward (the usual FR case) and
+		// R2 as sequenced when it mapped reversed (opposite-strand fragment).
+		seq1 := p.R1
+		if pm.Mate1.Reverse {
+			seq1 = dna.ReverseComplement(p.R1)
+		}
+		seq2 := dna.ReverseComplement(p.R2)
+		if pm.Mate2.Reverse {
+			seq2 = p.R2
+		}
+		const paired, proper = 0x1, 0x2
+		f1 := paired | proper | 0x40
+		f2 := paired | proper | 0x80
+		if pm.Mate1.Reverse {
+			f1 |= 0x10
+			f2 |= 0x20
+		}
+		if !pm.Mate2.Reverse { // original R2 is reverse-complemented in the alignment
+			f2 |= 0x10
+			f1 |= 0x20
+		}
+		tlen1, tlen2 := pm.Insert, -pm.Insert
+		if pm.Mate2.Pos < pm.Mate1.Pos {
+			tlen1, tlen2 = -pm.Insert, pm.Insert
+		}
+		cigar1 := pm.Mate1.CIGAR
+		if cigar1 == "" {
+			cigar1 = fmt.Sprintf("%dM", len(seq1))
+		}
+		cigar2 := pm.Mate2.CIGAR
+		if cigar2 == "" {
+			cigar2 = fmt.Sprintf("%dM", len(seq2))
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t=\t%d\t%d\t%s\t*\tNM:i:%d\n",
+			qname, f1, refName, pm.Mate1.Pos+1, cigar1, pm.Mate2.Pos+1, tlen1, seq1, pm.Mate1.Distance); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t=\t%d\t%d\t%s\t*\tNM:i:%d\n",
+			qname, f2, refName, pm.Mate2.Pos+1, cigar2, pm.Mate1.Pos+1, tlen2, seq2, pm.Mate2.Distance); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,142 @@
+package mapper
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteSAMThreadsNames(t *testing.T) {
+	reads := [][]byte{[]byte("ACGTACGT"), []byte("TTTTAAAA")}
+	mappings := []Mapping{
+		{ReadID: 0, Pos: 10, Distance: 1},
+		{ReadID: 1, Pos: 50, Distance: 0},
+	}
+	var buf bytes.Buffer
+	// Names with a description: QNAME is the id up to the first whitespace.
+	names := []string{"SRR001.1 descriptive text", "SRR001.2\ttabbed"}
+	if err := WriteSAM(&buf, "chr", 1000, names, reads, mappings); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SRR001.1\t0\tchr\t11") {
+		t.Fatalf("first QNAME not threaded/truncated:\n%s", out)
+	}
+	if !strings.Contains(out, "SRR001.2\t0\tchr\t51") {
+		t.Fatalf("second QNAME not threaded/truncated:\n%s", out)
+	}
+	if strings.Contains(out, "descriptive") || strings.Contains(out, "tabbed") {
+		t.Fatalf("description leaked into QNAME:\n%s", out)
+	}
+
+	// Short or empty names fall back to read%d (simulated read sets).
+	buf.Reset()
+	if err := WriteSAM(&buf, "chr", 1000, []string{""}, reads, mappings); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "read0\t0") || !strings.Contains(out, "read1\t0") {
+		t.Fatalf("fallback QNAMEs missing:\n%s", out)
+	}
+}
+
+func TestWritePairedSAMGolden(t *testing.T) {
+	// Two hand-built concordant pairs over a tiny reference: pair 0 is the
+	// usual forward-strand fragment (R1 left, forward), pair 1 a
+	// reverse-strand fragment (both mate queries mapped reversed, R2's
+	// window leftmost). Sequences are chosen non-palindromic so orientation
+	// mistakes change the output.
+	pairs := []ReadPair{
+		{R1: []byte("AACC"), R2: []byte("GGTT")}, // revcomp(R2) = AACC
+		{R1: []byte("ACGG"), R2: []byte("TTCA")}, // revcomp(R2) = TGAA
+	}
+	names := []string{"frag.1/1 pos=10", "frag.2"}
+	resolved := []PairMapping{
+		{
+			PairID: 0,
+			Mate1:  Mapping{ReadID: 0, Pos: 10, Distance: 1},
+			Mate2:  Mapping{ReadID: 1, Pos: 26, Distance: 0},
+			Insert: 20,
+		},
+		{
+			PairID: 1,
+			Mate1:  Mapping{ReadID: 2, Pos: 58, Distance: 0, Reverse: true},
+			Mate2:  Mapping{ReadID: 3, Pos: 40, Distance: 2, Reverse: true},
+			Insert: 22,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePairedSAM(&buf, "chrT", 100, names, pairs, resolved); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"@HD\tVN:1.6\tSO:unsorted",
+		"@SQ\tSN:chrT\tLN:100",
+		"@PG\tID:gatekeeper-gpu-repro\tPN:gkmap",
+		// Forward fragment: R1 99 (paired|proper|mate-rev|first), leftmost,
+		// TLEN +20; R2 147 (paired|proper|rev|last), SEQ revcomp(GGTT)=AACC.
+		"frag.1\t99\tchrT\t11\t255\t4M\t=\t27\t20\tAACC\t*\tNM:i:1",
+		"frag.1\t147\tchrT\t27\t255\t4M\t=\t11\t-20\tAACC\t*\tNM:i:0",
+		// Reverse fragment: R1 83 (paired|proper|rev|first), rightmost,
+		// TLEN -22, SEQ revcomp(ACGG)=CCGT; R2 163 (paired|proper|mate-rev|
+		// last), leftmost, TLEN +22, SEQ as sequenced.
+		"frag.2\t83\tchrT\t59\t255\t4M\t=\t41\t-22\tCCGT\t*\tNM:i:0",
+		"frag.2\t163\tchrT\t41\t255\t4M\t=\t59\t22\tTTCA\t*\tNM:i:2",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("paired SAM drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Dangling pair IDs are rejected, as WriteSAM rejects dangling reads.
+	if err := WritePairedSAM(&buf, "chrT", 100, nil, pairs, []PairMapping{{PairID: 7}}); err == nil {
+		t.Fatal("dangling pair ID accepted")
+	}
+}
+
+func TestWritePairedSAMFlagInvariants(t *testing.T) {
+	// Across both fragment orientations: exactly one record carries 0x40
+	// and one 0x80, strand and mate-strand bits mirror each other, and both
+	// records claim paired+proper.
+	pairs := []ReadPair{{R1: []byte("AACC"), R2: []byte("GGTT")}}
+	for _, reverse := range []bool{false, true} {
+		resolved := []PairMapping{{
+			Mate1:  Mapping{Pos: 5, Reverse: reverse},
+			Mate2:  Mapping{Pos: 20, Reverse: reverse},
+			Insert: 19,
+		}}
+		var buf bytes.Buffer
+		if err := WritePairedSAM(&buf, "c", 50, nil, pairs, resolved); err != nil {
+			t.Fatal(err)
+		}
+		var flags []int
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if line == "" || strings.HasPrefix(line, "@") {
+				continue
+			}
+			cols := strings.Split(line, "\t")
+			f, err := strconv.Atoi(cols[1])
+			if err != nil {
+				t.Fatalf("flag column %q: %v", cols[1], err)
+			}
+			flags = append(flags, f)
+		}
+		if len(flags) != 2 {
+			t.Fatalf("reverse=%v: %d records", reverse, len(flags))
+		}
+		f1, f2 := flags[0], flags[1]
+		if f1&0x1 == 0 || f1&0x2 == 0 || f2&0x1 == 0 || f2&0x2 == 0 {
+			t.Fatalf("reverse=%v: paired/proper missing: %d %d", reverse, f1, f2)
+		}
+		if f1&0x40 == 0 || f1&0x80 != 0 || f2&0x80 == 0 || f2&0x40 != 0 {
+			t.Fatalf("reverse=%v: first/last bits wrong: %d %d", reverse, f1, f2)
+		}
+		if (f1&0x10 != 0) != (f2&0x20 != 0) || (f2&0x10 != 0) != (f1&0x20 != 0) {
+			t.Fatalf("reverse=%v: strand/mate-strand mismatch: %d %d", reverse, f1, f2)
+		}
+		if (f1&0x10 != 0) == (f2&0x10 != 0) {
+			t.Fatalf("reverse=%v: FR mates must align on opposite strands: %d %d", reverse, f1, f2)
+		}
+	}
+}

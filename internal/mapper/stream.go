@@ -35,7 +35,10 @@ type CandidateStreamFilter interface {
 }
 
 // streamQuery is one oriented sequence to map: the read itself, or its
-// reverse complement under Config.BothStrands.
+// reverse complement under Config.BothStrands. It carries the sequence
+// directly — the pipeline keeps no global read table, so on the channel-fed
+// ingestion paths a read's bytes are garbage once its candidates are
+// verified.
 type streamQuery struct {
 	readID  int
 	reverse bool
@@ -44,8 +47,8 @@ type streamQuery struct {
 
 // candMeta identifies the candidate behind one in-flight filtration.
 type candMeta struct {
-	query int
-	pos   int32
+	q   streamQuery
+	pos int32
 }
 
 // metaQueue is the FIFO matching stream results back to their candidates:
@@ -81,18 +84,23 @@ func (m *metaQueue) pop() candMeta {
 
 // verifyJob is one accepted candidate awaiting banded-DP verification.
 type verifyJob struct {
-	query     int
+	q         streamQuery
 	pos       int32
 	undefined bool
 }
 
-// MapStream is the streaming counterpart of MapReads: a pool of seeding
-// workers feeds candidates through the configured filter's streaming path
-// while a verification pool consumes accepted candidates concurrently, so
-// seeding, pre-alignment filtering, and banded-DP verification overlap
-// instead of running as synchronized phases. Decisions and output are
-// byte-identical to MapReads — same mappings, same order — only the
-// execution schedule (and therefore the wall clock) differs.
+// mapQueryStream is the engine room shared by MapStream, MapReadStream, and
+// MapPairStream: a pool of seeding workers consumes oriented queries from
+// feed, candidates flow through the configured filter's streaming path, and
+// a verification pool consumes accepted candidates concurrently, so seeding,
+// pre-alignment filtering, and banded-DP verification overlap instead of
+// running as synchronized phases.
+//
+// feed runs in its own goroutine and must send every query with a select on
+// ctx.Done() (the pipeline stops consuming on terminal errors); a non-nil
+// return is reported as the run's error. feed is always run to completion
+// before mapQueryStream returns, so state it captures is safe to read
+// afterwards.
 //
 // The filter stage adapts to what Config.Filter supports: the index-named
 // candidate stream (CandidateStreamFilter, gkgpu.Engine's path — reads ship
@@ -100,29 +108,13 @@ type verifyJob struct {
 // a materialized-pair stream (PairStreamFilter), an inline one-shot filter
 // (any other PreFilter, called per seeded read), or no filter at all.
 // Config.StreamWorkers sizes the seeding and verification pools.
-func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
+func (m *Mapper) mapQueryStream(e int, feed func(ctx context.Context, out chan<- streamQuery) error) ([]Mapping, Stats, error) {
 	if e > m.cfg.MaxE {
 		return nil, Stats{}, fmt.Errorf("mapper: threshold %d exceeds configured %d", e, m.cfg.MaxE)
-	}
-	for i, r := range reads {
-		if len(r) != m.cfg.ReadLen {
-			return nil, Stats{}, fmt.Errorf("mapper: read %d has length %d, mapper built for %d",
-				i, len(r), m.cfg.ReadLen)
-		}
 	}
 	totalStart := time.Now()
 	L := m.cfg.ReadLen
 	ref := m.idx.ref
-
-	// The query list is MapReads' batch expansion, flattened: every read,
-	// plus its reverse complement when both-strand mapping is on.
-	queries := make([]streamQuery, 0, len(reads))
-	for ri, read := range reads {
-		queries = append(queries, streamQuery{readID: ri, seq: read})
-		if m.cfg.BothStrands {
-			queries = append(queries, streamQuery{readID: ri, reverse: true, seq: dna.ReverseComplement(read)})
-		}
-	}
 
 	workers := m.cfg.StreamWorkers
 	if workers <= 0 {
@@ -169,7 +161,7 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("mapper: opening filter stream: %w", err)
 	}
 
-	var candCount, rejectCount, verifCount, undefCount atomic.Int64
+	var readCount, candCount, rejectCount, verifCount, undefCount atomic.Int64
 	var timeMu sync.Mutex
 	var seedBusy, verifyBusy, inlineFilterBusy float64
 
@@ -190,16 +182,15 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 				if j.undefined {
 					undefCount.Add(1)
 				}
-				q := queries[j.query]
 				window := ref[j.pos : int(j.pos)+L]
 				if m.cfg.Traceback {
-					if al, ok := align.Align(q.seq, window, e); ok {
-						local = append(local, Mapping{ReadID: q.readID, Pos: int(j.pos),
-							Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: q.reverse})
+					if al, ok := align.Align(j.q.seq, window, e); ok {
+						local = append(local, Mapping{ReadID: j.q.readID, Pos: int(j.pos),
+							Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: j.q.reverse})
 					}
-				} else if d, ok := align.DistanceBanded(q.seq, window, e); ok {
-					local = append(local, Mapping{ReadID: q.readID, Pos: int(j.pos),
-						Distance: d, Reverse: q.reverse})
+				} else if d, ok := align.DistanceBanded(j.q.seq, window, e); ok {
+					local = append(local, Mapping{ReadID: j.q.readID, Pos: int(j.pos),
+						Distance: d, Reverse: j.q.reverse})
 				}
 				busy += time.Since(t0).Seconds()
 			}
@@ -210,12 +201,12 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 		}(w)
 	}
 
-	// Seeding pool: query indices in, per-query candidate lists out.
+	// Seeding pool: oriented queries in, per-query candidate lists out.
 	type seeded struct {
-		query int
+		q     streamQuery
 		cands []int32
 	}
-	jobs := make(chan int)
+	jobs := make(chan streamQuery)
 	seededCh := make(chan seeded, 2*workers)
 	var seedWg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -228,12 +219,15 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 				seedBusy += busy
 				timeMu.Unlock()
 			}()
-			for qi := range jobs {
+			for q := range jobs {
+				if !q.reverse {
+					readCount.Add(1)
+				}
 				t0 := time.Now()
-				cands := m.candidates(queries[qi].seq, e)
+				cands := m.candidates(q.seq, e)
 				busy += time.Since(t0).Seconds()
 				select {
-				case seededCh <- seeded{query: qi, cands: cands}:
+				case seededCh <- seeded{q: q, cands: cands}:
 				case <-ctx.Done():
 					return
 				}
@@ -242,12 +236,8 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 	}
 	go func() {
 		defer close(jobs)
-		for qi := range queries {
-			select {
-			case jobs <- qi:
-			case <-ctx.Done():
-				return
-			}
+		if err := feed(ctx, jobs); err != nil {
+			fail(err)
 		}
 	}()
 	go func() {
@@ -272,19 +262,18 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 				}
 			}()
 			for s := range seededCh {
-				q := queries[s.query]
 				for _, pos := range s.cands {
 					candCount.Add(1)
-					metas.push(candMeta{query: s.query, pos: pos})
+					metas.push(candMeta{q: s.q, pos: pos})
 					if candIn != nil {
 						select {
-						case candIn <- gkgpu.StreamCandidate{Read: q.seq, Pos: pos}:
+						case candIn <- gkgpu.StreamCandidate{Read: s.q.seq, Pos: pos}:
 						case <-ctx.Done():
 							return
 						}
 					} else {
 						select {
-						case pairIn <- gkgpu.Pair{Read: q.seq, Ref: ref[pos : int(pos)+L]}:
+						case pairIn <- gkgpu.Pair{Read: s.q.seq, Ref: ref[pos : int(pos)+L]}:
 						case <-ctx.Done():
 							return
 						}
@@ -302,7 +291,7 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 					continue
 				}
 				select {
-				case verifyJobs <- verifyJob{query: mt.query, pos: mt.pos, undefined: r.Undefined}:
+				case verifyJobs <- verifyJob{q: mt.q, pos: mt.pos, undefined: r.Undefined}:
 				case <-ctx.Done():
 					for range out { // let the stream drain and close
 					}
@@ -331,12 +320,11 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 					continue
 				}
 				candCount.Add(int64(len(s.cands)))
-				q := queries[s.query]
 				var verdicts []gkgpu.Result
 				if m.cfg.Filter != nil {
 					pairs := make([]gkgpu.Pair, len(s.cands))
 					for i, pos := range s.cands {
-						pairs[i] = gkgpu.Pair{Read: q.seq, Ref: ref[pos : int(pos)+L]}
+						pairs[i] = gkgpu.Pair{Read: s.q.seq, Ref: ref[pos : int(pos)+L]}
 					}
 					t0 := time.Now()
 					res, ferr := m.cfg.Filter.FilterPairs(pairs, e)
@@ -350,7 +338,7 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 					verdicts = res
 				}
 				for i, pos := range s.cands {
-					j := verifyJob{query: s.query, pos: pos}
+					j := verifyJob{q: s.q, pos: pos}
 					if verdicts != nil {
 						if !verdicts[i].Accept {
 							rejectCount.Add(1)
@@ -381,13 +369,13 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 	sortMappings(mappings)
 
 	var st Stats
-	st.Reads = int64(len(reads))
+	st.Reads = readCount.Load()
 	st.CandidatePairs = candCount.Load()
 	st.RejectedPairs = rejectCount.Load()
 	st.VerificationPairs = verifCount.Load()
 	st.UndefinedPairs = undefCount.Load()
 	st.Mappings = int64(len(mappings))
-	mapped := make(map[int]bool, len(reads))
+	mapped := make(map[int]bool)
 	for _, mp := range mappings {
 		mapped[mp.ReadID] = true
 	}
@@ -409,4 +397,51 @@ func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
 	st.TotalSeconds = time.Since(totalStart).Seconds()
 	st.PipelineWallSeconds = st.TotalSeconds
 	return mappings, st, nil
+}
+
+// MapStream is the streaming counterpart of MapReads over a materialized
+// read set: decisions and output are byte-identical to MapReads — same
+// mappings, same order — only the execution schedule (and therefore the
+// wall clock) differs. For reads arriving from a decoder or the network,
+// MapReadStream is the channel-fed form.
+func (m *Mapper) MapStream(reads [][]byte, e int) ([]Mapping, Stats, error) {
+	if e > m.cfg.MaxE {
+		return nil, Stats{}, fmt.Errorf("mapper: threshold %d exceeds configured %d", e, m.cfg.MaxE)
+	}
+	for i, r := range reads {
+		if len(r) != m.cfg.ReadLen {
+			return nil, Stats{}, fmt.Errorf("mapper: read %d has length %d, mapper built for %d",
+				i, len(r), m.cfg.ReadLen)
+		}
+	}
+	mappings, st, err := m.mapQueryStream(e, func(ctx context.Context, out chan<- streamQuery) error {
+		for ri, read := range reads {
+			if !sendQuery(ctx, out, streamQuery{readID: ri, seq: read}) {
+				return nil
+			}
+			if m.cfg.BothStrands {
+				q := streamQuery{readID: ri, reverse: true, seq: dna.ReverseComplement(read)}
+				if !sendQuery(ctx, out, q) {
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st.Reads = int64(len(reads))
+	return mappings, st, nil
+}
+
+// sendQuery sends one query into the pipeline, giving up (false) when the
+// pipeline has stopped consuming.
+func sendQuery(ctx context.Context, out chan<- streamQuery, q streamQuery) bool {
+	select {
+	case out <- q:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
