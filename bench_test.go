@@ -13,9 +13,11 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/cuda"
+	"repro/internal/dna"
 	"repro/internal/filter"
 	"repro/internal/gkgpu"
 	"repro/internal/mapper"
+	"repro/internal/ref32"
 	"repro/internal/simdata"
 )
 
@@ -199,6 +201,76 @@ func BenchmarkTable6Power(b *testing.B) {
 			b.Fatal("power trace empty")
 		}
 	}
+}
+
+// BenchmarkKernelFusedVsRef32 times the fused 64-bit kernel against the
+// retained 32-bit unfused chain (internal/ref32) on identical defined
+// pairs — the reproducible record of this repo's word-widening + fusion
+// speedup. Undefined ('N') pairs are dropped so both kernels run the same
+// workload. `gkbench -json` writes the same comparison into a
+// BENCH_<stamp>.json baseline.
+func BenchmarkKernelFusedVsRef32(b *testing.B) {
+	for _, c := range []struct {
+		set  string
+		L, e int
+	}{{"set3", 100, 5}, {"set11", 250, 10}} {
+		all := benchPairs(b, c.set, 1_000)
+		var pairs []gkgpu.Pair
+		for _, p := range all {
+			if !dna.HasN(p.Read) && !dna.HasN(p.Ref) {
+				pairs = append(pairs, p)
+			}
+		}
+		b.Run(fmt.Sprintf("fused/%dbp-e%d", c.L, c.e), func(b *testing.B) {
+			kern := filter.NewKernel(filter.ModeGPU, c.L, c.e)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					kern.Filter(p.Read, p.Ref, c.e)
+				}
+			}
+			b.ReportMetric(float64(len(pairs))*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+		b.Run(fmt.Sprintf("ref32/%dbp-e%d", c.L, c.e), func(b *testing.B) {
+			kern := ref32.NewKernel(true, c.L)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					kern.Filter(p.Read, p.Ref, c.e)
+				}
+			}
+			b.ReportMetric(float64(len(pairs))*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkKernelFilterEncoded isolates the engine's launch-stage hot path:
+// pre-encoded words through the fused kernel, no byte encoding. The allocs
+// column is the zero-allocation guard in benchmark form (the test-form
+// guard is TestFilterEncodedZeroAllocs).
+func BenchmarkKernelFilterEncoded(b *testing.B) {
+	all := benchPairs(b, "set3", 1_000)
+	type encPair struct{ read, ref []uint64 }
+	var enc []encPair
+	for _, p := range all {
+		re, err1 := dna.Encode(p.Read)
+		fe, err2 := dna.Encode(p.Ref)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		enc = append(enc, encPair{re, fe})
+	}
+	kern := filter.NewKernel(filter.ModeGPU, 100, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range enc {
+			kern.FilterEncoded(p.read, p.ref, 5)
+		}
+	}
+	b.ReportMetric(float64(len(enc))*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 }
 
 // BenchmarkFig4Accuracy regenerates Figure 4's hot path: GateKeeper-GPU

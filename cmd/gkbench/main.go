@@ -8,6 +8,7 @@
 //	gkbench -all                  # run everything
 //	gkbench -exp table2 -scale 5  # 5x the default workload sizes
 //	gkbench -stream               # one-shot vs streaming pipeline comparison
+//	gkbench -json                 # write a BENCH_<stamp>.json perf baseline
 package main
 
 import (
@@ -20,18 +21,36 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		stream = flag.Bool("stream", false, "run the streaming-pipeline comparison (shorthand for -exp pipeline)")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = quick laptop sizes)")
-		seed   = flag.Int64("seed", 42, "dataset generation seed")
+		exp      = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		stream   = flag.Bool("stream", false, "run the streaming-pipeline comparison (shorthand for -exp pipeline)")
+		jsonOut  = flag.Bool("json", false, "run the kernel/filter/index micro-benchmarks and write BENCH_<stamp>.json")
+		jsonDir  = flag.String("json-dir", ".", "directory for the -json baseline file")
+		benchTag = flag.String("label", "", "free-form label recorded in the -json baseline")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = quick laptop sizes)")
+		seed     = flag.Int64("seed", 42, "dataset generation seed")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range harness.All() {
 			fmt.Printf("%-12s %-32s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+	if *jsonOut {
+		if *all || *exp != "" || *stream {
+			fmt.Fprintln(os.Stderr, "gkbench: -json conflicts with -exp/-all/-stream (it runs its own fixed micro-suite)")
+			os.Exit(2)
+		}
+		if *scale != 1.0 || *seed != 42 {
+			fmt.Fprintln(os.Stderr, "gkbench: -json ignores -scale/-seed; its workloads are fixed so baselines stay comparable")
+			os.Exit(2)
+		}
+		if _, err := harness.RunBenchJSON(*jsonDir, *benchTag, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gkbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

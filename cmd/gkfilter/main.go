@@ -52,6 +52,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *verbose {
+		// The verbose listing prints the estimate next to the true edit
+		// distance; ask GateKeeper kernels for exhaustive estimates instead
+		// of the default sealed (<= e) upper bound. Decisions are identical.
+		if ex, ok := f.(interface{ SetExactEstimate(bool) }); ok {
+			ex.SetExactEstimate(true)
+		}
+	}
 
 	var reads, refs [][]byte
 	if *pairsFile != "" {

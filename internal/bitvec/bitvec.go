@@ -1,31 +1,41 @@
-// Package bitvec implements the 32-bit-word bitvector machinery of the
+// Package bitvec implements the word-array bitvector machinery of the
 // GateKeeper-GPU kernel. The FPGA original manipulates one arbitrarily long
 // register per sequence; a GPU (and this Go port) instead holds an array of
-// 32-bit words, so every bitwise shift must transfer carry bits between
+// machine words, so every bitwise shift must transfer carry bits between
 // adjacent array elements (paper Section 3.4: "logical shift operations
 // produce incorrect bits between array's elements. For correcting these
 // bits, we apply carry-bit transfers").
 //
+// Where the paper's CUDA kernel uses 32-bit words, this port uses 64-bit
+// words: word width is the central throughput lever of the bit-parallel
+// design, and doubling it halves both the word count of every pass and the
+// number of carry-bit transfers per shift. The original 32-bit layout is
+// preserved in internal/ref32 as the differential reference model the
+// property and fuzz tests compare against.
+//
 // Two representations appear here:
 //
-//   - encoded vectors: 2 bits per base, 16 bases per word (dna.Encode layout);
+//   - encoded vectors: 2 bits per base, 32 bases per word (dna.Encode layout);
 //     XOR and character shifts happen in this domain.
-//   - character masks: 1 bit per base, 32 bases per word, produced by
+//   - character masks: 1 bit per base, 64 bases per word, produced by
 //     collapsing each 2-bit XOR pair with OR ("every two-bit is combined with
 //     bitwise OR to simplify the differences").
 //
 // Bit order is little-endian throughout: base i of an encoded vector lives at
-// bits [2i, 2i+1] of word i/16; base i of a mask lives at bit i%32 of word
-// i/32.
+// bits [2i mod 64, 2i mod 64 + 1] of word i/32; base i of a mask lives at bit
+// i%64 of word i/64. Carry-transfer semantics are unchanged from the 32-bit
+// layout — a shift by k characters moves 2k bits through the array, pulling
+// the bits the per-word shift pushed out of each neighbouring element — there
+// are simply half as many element boundaries to correct.
 package bitvec
 
 import "math/bits"
 
-// CharsPerEncodedWord is the number of bases per encoded 32-bit word.
-const CharsPerEncodedWord = 16
+// CharsPerEncodedWord is the number of bases per encoded 64-bit word.
+const CharsPerEncodedWord = 32
 
 // CharsPerMaskWord is the number of bases per mask word.
-const CharsPerMaskWord = 32
+const CharsPerMaskWord = 64
 
 // EncodedWords returns the number of encoded words for n bases.
 func EncodedWords(n int) int { return (n + CharsPerEncodedWord - 1) / CharsPerEncodedWord }
@@ -37,14 +47,14 @@ func MaskWords(n int) int { return (n + CharsPerMaskWord - 1) / CharsPerMaskWord
 // towards higher positions (dst base i = src base i-k; the k lowest bases are
 // vacated as zeros). This is the "deletion" shift of the GateKeeper loop.
 // dst and src must have equal length; aliasing dst==src is not supported.
-func ShiftCharsUp(dst, src []uint32, k int) {
+func ShiftCharsUp(dst, src []uint64, k int) {
 	shiftBitsUp(dst, src, uint(2*k))
 }
 
 // ShiftCharsDown writes into dst the encoded vector src shifted k characters
 // towards lower positions (dst base i = src base i+k; the k highest bases are
 // vacated as zeros). This is the "insertion" shift of the GateKeeper loop.
-func ShiftCharsDown(dst, src []uint32, k int) {
+func ShiftCharsDown(dst, src []uint64, k int) {
 	shiftBitsDown(dst, src, uint(2*k))
 }
 
@@ -52,17 +62,17 @@ func ShiftCharsDown(dst, src []uint32, k int) {
 // array, applying the carry-bit transfer from each lower word into its upper
 // neighbour — one carry operation per word boundary, exactly the correction
 // the paper describes for the GPU port.
-func shiftBitsUp(dst, src []uint32, n uint) {
-	wordShift := int(n / 32)
-	bitShift := n % 32
+func shiftBitsUp(dst, src []uint64, n uint) {
+	wordShift := int(n / 64)
+	bitShift := n % 64
 	for i := len(dst) - 1; i >= 0; i-- {
-		var w uint32
+		var w uint64
 		if j := i - wordShift; j >= 0 {
 			w = src[j] << bitShift
 			// Carry-bit transfer: pull the bits that the per-word shift
 			// pushed out of the previous array element.
 			if bitShift != 0 && j-1 >= 0 {
-				w |= src[j-1] >> (32 - bitShift)
+				w |= src[j-1] >> (64 - bitShift)
 			}
 		}
 		dst[i] = w
@@ -72,15 +82,15 @@ func shiftBitsUp(dst, src []uint32, n uint) {
 // shiftBitsDown performs a little-endian right shift by n bits across the
 // word array with carry-bit transfers from each upper word into its lower
 // neighbour.
-func shiftBitsDown(dst, src []uint32, n uint) {
-	wordShift := int(n / 32)
-	bitShift := n % 32
+func shiftBitsDown(dst, src []uint64, n uint) {
+	wordShift := int(n / 64)
+	bitShift := n % 64
 	for i := 0; i < len(dst); i++ {
-		var w uint32
+		var w uint64
 		if j := i + wordShift; j < len(src) {
 			w = src[j] >> bitShift
 			if bitShift != 0 && j+1 < len(src) {
-				w |= src[j+1] << (32 - bitShift)
+				w |= src[j+1] << (64 - bitShift)
 			}
 		}
 		dst[i] = w
@@ -93,74 +103,82 @@ func shiftBitsDown(dst, src []uint32, n uint) {
 // candidate reference segment out of the unified-memory encoded reference
 // ("each thread executes a single comparison, starting with extracting the
 // relevant reference segment based on the index", Section 3.5).
-func ExtractChars(dst, src []uint32, start, n int) {
+func ExtractChars(dst, src []uint64, start, n int) {
 	wordOff := start / CharsPerEncodedWord
 	bitOff := uint(start%CharsPerEncodedWord) * 2
 	outWords := EncodedWords(n)
 	for i := 0; i < outWords; i++ {
-		var w uint32
+		var w uint64
 		if j := wordOff + i; j < len(src) {
 			w = src[j] >> bitOff
 			if bitOff != 0 && j+1 < len(src) {
-				w |= src[j+1] << (32 - bitOff)
+				w |= src[j+1] << (64 - bitOff)
 			}
 		}
 		dst[i] = w
 	}
 	// Zero the 2-bit lanes beyond n so padding cannot alias as bases.
 	if rem := n % CharsPerEncodedWord; rem != 0 {
-		dst[outWords-1] &= (uint32(1) << uint(2*rem)) - 1
+		dst[outWords-1] &= (uint64(1) << uint(2*rem)) - 1
 	}
 }
 
 // XorInto writes a^b into dst; all three slices must have equal length.
-func XorInto(dst, a, b []uint32) {
+func XorInto(dst, a, b []uint64) {
 	for i := range dst {
 		dst[i] = a[i] ^ b[i]
 	}
 }
 
 // AndInto writes a&b into dst.
-func AndInto(dst, a, b []uint32) {
+func AndInto(dst, a, b []uint64) {
 	for i := range dst {
 		dst[i] = a[i] & b[i]
 	}
 }
 
 // OrInto writes a|b into dst.
-func OrInto(dst, a, b []uint32) {
+func OrInto(dst, a, b []uint64) {
 	for i := range dst {
 		dst[i] = a[i] | b[i]
 	}
 }
 
-// extractEven compresses the 16 even-indexed bits of x (bits 0,2,4,...,30)
-// into the low 16 bits of the result, preserving order.
-func extractEven(x uint32) uint32 {
-	x &= 0x55555555
-	x = (x | x>>1) & 0x33333333
-	x = (x | x>>2) & 0x0F0F0F0F
-	x = (x | x>>4) & 0x00FF00FF
-	x = (x | x>>8) & 0x0000FFFF
+// extractEven compresses the 32 even-indexed bits of x (bits 0,2,4,...,62)
+// into the low 32 bits of the result, preserving order.
+func extractEven(x uint64) uint64 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
 	return x
 }
 
+// CollapsePair reduces two adjacent encoded-domain XOR words (2 bits per
+// base, 64 bases total) to one character-mask word: mask bit i = OR of the
+// two bits encoding base i. lo carries bases 0-31 of the mask word, hi bases
+// 32-63. This is the single-word primitive behind Collapse, exposed for the
+// fused kernel loop.
+func CollapsePair(lo, hi uint64) uint64 {
+	return extractEven(lo|lo>>1) | extractEven(hi|hi>>1)<<32
+}
+
 // Collapse reduces an encoded-domain XOR result (2 bits per base) to a
-// character mask (1 bit per base): mask bit i = OR of the two bits encoding
-// base i. dst must have MaskWords(n) words for n = 16*len(src) bases.
-func Collapse(dst, src []uint32) {
+// character mask (1 bit per base). dst must have MaskWords(n) words for
+// n = 32*len(src) bases.
+func Collapse(dst, src []uint64) {
 	for m := range dst {
 		lo2 := 2 * m
-		var low, high uint32
+		var low, high uint64
 		if lo2 < len(src) {
-			w := src[lo2]
-			low = extractEven(w | w>>1)
+			low = src[lo2]
 		}
 		if lo2+1 < len(src) {
-			w := src[lo2+1]
-			high = extractEven(w | w>>1)
+			high = src[lo2+1]
 		}
-		dst[m] = low | high<<16
+		dst[m] = CollapsePair(low, high)
 	}
 }
 
@@ -168,38 +186,38 @@ func Collapse(dst, src []uint32) {
 // this to each k-shifted deletion mask so the positions vacated by the shift
 // read as potential errors instead of silently matching (the Figure 2
 // accuracy fix).
-func SetLeadingOnes(mask []uint32, k int) {
+func SetLeadingOnes(mask []uint64, k int) {
 	for i := 0; i < len(mask) && k > 0; i++ {
-		if k >= 32 {
-			mask[i] = ^uint32(0)
-			k -= 32
+		if k >= 64 {
+			mask[i] = ^uint64(0)
+			k -= 64
 			continue
 		}
-		mask[i] |= (uint32(1) << uint(k)) - 1
+		mask[i] |= (uint64(1) << uint(k)) - 1
 		return
 	}
 }
 
 // SetTrailingOnes forces the k highest in-range mask bits to 1 for a mask of
 // n bases — the insertion-mask counterpart of SetLeadingOnes.
-func SetTrailingOnes(mask []uint32, n, k int) {
+func SetTrailingOnes(mask []uint64, n, k int) {
 	if k > n {
 		k = n
 	}
 	for pos := n - k; pos < n; {
-		w := pos / 32
-		b := uint(pos % 32)
-		// Set bits [b, min(32, b + remaining)) of word w in one OR.
+		w := pos / 64
+		b := uint(pos % 64)
+		// Set bits [b, min(64, b + remaining)) of word w in one OR.
 		remaining := n - pos
-		width := 32 - int(b)
+		width := 64 - int(b)
 		if width > remaining {
 			width = remaining
 		}
-		var m uint32
-		if width >= 32 {
-			m = ^uint32(0)
+		var m uint64
+		if width >= 64 {
+			m = ^uint64(0)
 		} else {
-			m = ((uint32(1) << uint(width)) - 1) << b
+			m = ((uint64(1) << uint(width)) - 1) << b
 		}
 		mask[w] |= m
 		pos += width
@@ -210,37 +228,37 @@ func SetTrailingOnes(mask []uint32, n, k int) {
 // GateKeeper explicitly zero the region a shift vacates, which is exactly
 // the accuracy flaw Figure 2 illustrates: those zeros dominate the final AND
 // and hide genuine edge mismatches.
-func ClearLeading(mask []uint32, k int) {
+func ClearLeading(mask []uint64, k int) {
 	for i := 0; i < len(mask) && k > 0; i++ {
-		if k >= 32 {
+		if k >= 64 {
 			mask[i] = 0
-			k -= 32
+			k -= 64
 			continue
 		}
-		mask[i] &^= (uint32(1) << uint(k)) - 1
+		mask[i] &^= (uint64(1) << uint(k)) - 1
 		return
 	}
 }
 
 // ClearTrailing zeroes the k highest in-range mask bits for a mask of n
 // bases — the insertion-mask counterpart of ClearLeading.
-func ClearTrailing(mask []uint32, n, k int) {
+func ClearTrailing(mask []uint64, n, k int) {
 	if k > n {
 		k = n
 	}
 	for pos := n - k; pos < n; {
-		w := pos / 32
-		b := uint(pos % 32)
+		w := pos / 64
+		b := uint(pos % 64)
 		remaining := n - pos
-		width := 32 - int(b)
+		width := 64 - int(b)
 		if width > remaining {
 			width = remaining
 		}
-		var m uint32
-		if width >= 32 {
-			m = ^uint32(0)
+		var m uint64
+		if width >= 64 {
+			m = ^uint64(0)
 		} else {
-			m = ((uint32(1) << uint(width)) - 1) << b
+			m = ((uint64(1) << uint(width)) - 1) << b
 		}
 		mask[w] &^= m
 		pos += width
@@ -249,11 +267,11 @@ func ClearTrailing(mask []uint32, n, k int) {
 
 // ClearTail zeroes every mask bit at position >= n so padding never leaks
 // into amendment or error counting.
-func ClearTail(mask []uint32, n int) {
-	w := n / 32
-	b := uint(n % 32)
+func ClearTail(mask []uint64, n int) {
+	w := n / 64
+	b := uint(n % 64)
 	if w < len(mask) && b != 0 {
-		mask[w] &= (uint32(1) << b) - 1
+		mask[w] &= (uint64(1) << b) - 1
 		w++
 	}
 	for ; w < len(mask); w++ {
@@ -266,16 +284,19 @@ func ClearTail(mask []uint32, n int) {
 // LUT windows; the effect is identical: without amendment the final AND
 // across masks would let a dominant 0 in one mask hide a genuine mismatch
 // signalled by every other mask.
-func Amend(dst, src []uint32, n int) {
-	tmpUp1 := make([]uint32, len(src))
-	tmpDn1 := make([]uint32, len(src))
-	tmpDn2 := make([]uint32, len(src))
+func Amend(dst, src []uint64, n int) {
+	tmpUp1 := make([]uint64, len(src))
+	tmpDn1 := make([]uint64, len(src))
+	tmpDn2 := make([]uint64, len(src))
 	AmendScratch(dst, src, n, tmpUp1, tmpDn1, tmpDn2)
 }
 
-// AmendScratch is Amend with caller-provided scratch buffers, for the hot
-// kernel path. The three scratch slices must each have len(src) words.
-func AmendScratch(dst, src []uint32, n int, up1, dn1, dn2 []uint32) {
+// AmendScratch is Amend with caller-provided scratch buffers. The three
+// scratch slices must each have len(src) words. The fused kernel performs
+// this same amendment inline with a software-pipelined word window; this
+// slice form remains for the trace path and as the oracle its tests check
+// against.
+func AmendScratch(dst, src []uint64, n int, up1, dn1, dn2 []uint64) {
 	// Pass 1: fill isolated single zeros: bit i set when src[i-1] and
 	// src[i+1] are both 1.
 	shiftBitsUp(up1, src, 1)
@@ -298,14 +319,14 @@ func AmendScratch(dst, src []uint32, n int, up1, dn1, dn2 []uint32) {
 }
 
 // OnesCount returns the total number of set bits in the first n positions.
-func OnesCount(mask []uint32, n int) int {
+func OnesCount(mask []uint64, n int) int {
 	total := 0
-	full := n / 32
+	full := n / 64
 	for i := 0; i < full; i++ {
-		total += bits.OnesCount32(mask[i])
+		total += bits.OnesCount64(mask[i])
 	}
-	if rem := uint(n % 32); rem != 0 {
-		total += bits.OnesCount32(mask[full] & ((uint32(1) << rem) - 1))
+	if rem := uint(n % 64); rem != 0 {
+		total += bits.OnesCount64(mask[full] & ((uint64(1) << rem) - 1))
 	}
 	return total
 }
@@ -314,20 +335,20 @@ func OnesCount(mask []uint32, n int) int {
 // first n positions, using the run-start identity popcount(m &^ (m << 1)).
 // Each run approximates one edit after amendment, which is how the kernel
 // estimates the edit distance.
-func CountRuns(mask []uint32, n int) int {
+func CountRuns(mask []uint64, n int) int {
 	total := 0
-	var prevTop uint32 // bit 31 of the previous word
-	full := n / 32
+	var prevTop uint64 // bit 63 of the previous word
+	full := n / 64
 	for i := 0; i < full; i++ {
 		m := mask[i]
 		starts := m &^ (m<<1 | prevTop)
-		total += bits.OnesCount32(starts)
-		prevTop = m >> 31
+		total += bits.OnesCount64(starts)
+		prevTop = m >> 63
 	}
-	if rem := uint(n % 32); rem != 0 {
-		m := mask[full] & ((uint32(1) << rem) - 1)
+	if rem := uint(n % 64); rem != 0 {
+		m := mask[full] & ((uint64(1) << rem) - 1)
 		starts := m &^ (m<<1 | prevTop)
-		total += bits.OnesCount32(starts)
+		total += bits.OnesCount64(starts)
 	}
 	return total
 }
@@ -359,12 +380,12 @@ func init() {
 // mask in 4-bit windows consulting a LUT with a one-bit carry (whether the
 // previous window ended inside a run). It must agree with CountRuns — the
 // property tests assert this for every input.
-func CountRunsLUT(mask []uint32, n int) int {
+func CountRunsLUT(mask []uint64, n int) int {
 	total := 0
 	prev := 0
 	for pos := 0; pos < n; pos += 4 {
-		w := mask[pos/32]
-		nib := int(w>>uint(pos%32)) & 0xF
+		w := mask[pos/64]
+		nib := int(w>>uint(pos%64)) & 0xF
 		width := n - pos
 		if width < 4 {
 			nib &= (1 << uint(width)) - 1
@@ -379,6 +400,17 @@ func CountRunsLUT(mask []uint32, n int) int {
 	return total
 }
 
+// CountWindowsWord returns the number of 4-bit windows of one mask word that
+// contain at least one set bit — CountWindowsLUT's per-word kernel, exposed
+// for the fused filtration loop (a 64-bit word holds exactly 16 aligned
+// windows, so the whole-mask count is the sum of per-word counts).
+func CountWindowsWord(w uint64) int {
+	t := w | w>>1
+	t |= t >> 2
+	t &= 0x1111111111111111
+	return bits.OnesCount64(t)
+}
+
 // CountWindowsLUT is the GateKeeper error counter: the final bitvector is
 // walked in non-overlapping 4-bit windows and each window containing at
 // least one 1 counts as one error ("the errors are counted by following a
@@ -386,17 +418,14 @@ func CountRunsLUT(mask []uint32, n int) int {
 // one error each, while the dense 1-regions a dissimilar pair produces cost
 // ~n/4 errors — which is what keeps the filter discriminating at high
 // error thresholds (Section 5.1's "filtering still continues to serve").
-func CountWindowsLUT(mask []uint32, n int) int {
+func CountWindowsLUT(mask []uint64, n int) int {
 	total := 0
-	for pos := 0; pos < n; pos += 4 {
-		w := mask[pos/32]
-		nib := int(w>>uint(pos%32)) & 0xF
-		if width := n - pos; width < 4 {
-			nib &= (1 << uint(width)) - 1
-		}
-		if nib != 0 {
-			total++
-		}
+	full := n / 64
+	for i := 0; i < full; i++ {
+		total += CountWindowsWord(mask[i])
+	}
+	if rem := uint(n % 64); rem != 0 {
+		total += CountWindowsWord(mask[full] & ((uint64(1) << rem) - 1))
 	}
 	return total
 }
@@ -404,38 +433,64 @@ func CountWindowsLUT(mask []uint32, n int) int {
 // LongestZeroRun returns the start and length of the longest run of 0s
 // within positions [lo, hi) of the mask; MAGNET's extraction step builds on
 // this primitive. If the interval contains no zeros it returns (lo, 0).
-func LongestZeroRun(mask []uint32, lo, hi int) (start, length int) {
+//
+// The scan is word-at-a-time: each 64-bit chunk is consumed by jumping over
+// whole runs with trailing-zero counts instead of testing bits one by one,
+// so a chunk costs one iteration per run transition rather than one per
+// base. Runs crossing chunk boundaries are stitched by the open-run carry.
+func LongestZeroRun(mask []uint64, lo, hi int) (start, length int) {
 	bestStart, bestLen := lo, 0
 	curStart, curLen := lo, 0
-	for i := lo; i < hi; i++ {
-		if mask[i/32]>>(uint(i%32))&1 == 0 {
-			if curLen == 0 {
-				curStart = i
-			}
-			curLen++
-			if curLen > bestLen {
-				bestStart, bestLen = curStart, curLen
-			}
-		} else {
-			curLen = 0
+	for i := lo; i < hi; {
+		w := i >> 6
+		b := uint(i & 63)
+		x := mask[w] >> b // bit p of x = mask position i+p
+		n := 64 - int(b)  // valid bits in this chunk
+		if i+n > hi {
+			n = hi - i
 		}
+		pos := 0
+		for pos < n {
+			if (x>>uint(pos))&1 == 0 {
+				z := bits.TrailingZeros64(x >> uint(pos)) // zero-run length (64 when chunk tail is all zeros)
+				if z > n-pos {
+					z = n - pos
+				}
+				if curLen == 0 {
+					curStart = i + pos
+				}
+				curLen += z
+				if curLen > bestLen {
+					bestStart, bestLen = curStart, curLen
+				}
+				pos += z
+			} else {
+				o := bits.TrailingZeros64(^(x >> uint(pos))) // one-run length
+				if o > n-pos {
+					o = n - pos
+				}
+				curLen = 0
+				pos += o
+			}
+		}
+		i += n
 	}
 	return bestStart, bestLen
 }
 
 // Bit reports whether mask bit i is set.
-func Bit(mask []uint32, i int) bool {
-	return mask[i/32]>>(uint(i%32))&1 == 1
+func Bit(mask []uint64, i int) bool {
+	return mask[i/64]>>(uint(i%64))&1 == 1
 }
 
 // SetBit sets mask bit i.
-func SetBit(mask []uint32, i int) {
-	mask[i/32] |= uint32(1) << uint(i%32)
+func SetBit(mask []uint64, i int) {
+	mask[i/64] |= uint64(1) << uint(i%64)
 }
 
 // String renders the first n bits of a mask as a '0'/'1' string, position 0
 // first — handy for tests and the worked Figure 2/3 examples.
-func String(mask []uint32, n int) string {
+func String(mask []uint64, n int) string {
 	out := make([]byte, n)
 	for i := 0; i < n; i++ {
 		if Bit(mask, i) {

@@ -10,8 +10,8 @@ import (
 )
 
 // refMaskFromString builds a mask from a '0'/'1' string, position 0 first.
-func refMaskFromString(s string) []uint32 {
-	mask := make([]uint32, MaskWords(len(s)))
+func refMaskFromString(s string) []uint64 {
+	mask := make([]uint64, MaskWords(len(s)))
 	for i, c := range s {
 		if c == '1' {
 			SetBit(mask, i)
@@ -21,11 +21,14 @@ func refMaskFromString(s string) []uint32 {
 }
 
 func TestWordsHelpers(t *testing.T) {
-	if EncodedWords(100) != 7 {
-		t.Fatalf("EncodedWords(100) = %d, want 7", EncodedWords(100))
+	if EncodedWords(100) != 4 {
+		t.Fatalf("EncodedWords(100) = %d, want 4", EncodedWords(100))
 	}
-	if MaskWords(100) != 4 {
-		t.Fatalf("MaskWords(100) = %d, want 4", MaskWords(100))
+	if MaskWords(100) != 2 {
+		t.Fatalf("MaskWords(100) = %d, want 2", MaskWords(100))
+	}
+	if EncodedWords(250) != 8 || MaskWords(250) != 4 {
+		t.Fatalf("250bp sizing: enc=%d mask=%d", EncodedWords(250), MaskWords(250))
 	}
 	if MaskWords(0) != 0 || EncodedWords(0) != 0 {
 		t.Fatal("zero-length sizing wrong")
@@ -34,17 +37,17 @@ func TestWordsHelpers(t *testing.T) {
 
 func TestShiftCharsUpAgainstDecode(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for _, n := range []int{10, 16, 17, 100, 250} {
+	for _, n := range []int{10, 32, 33, 100, 250} {
 		seq := dna.RandomSeq(rng, n)
 		words, err := dna.Encode(seq)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, k := range []int{0, 1, 2, 3, 7, 15, 16, 17} {
+		for _, k := range []int{0, 1, 2, 3, 7, 31, 32, 33} {
 			if k > n {
 				continue
 			}
-			dst := make([]uint32, len(words))
+			dst := make([]uint64, len(words))
 			ShiftCharsUp(dst, words, k)
 			got := dna.Decode(dst, n)
 			for i := 0; i < n; i++ {
@@ -62,17 +65,17 @@ func TestShiftCharsUpAgainstDecode(t *testing.T) {
 
 func TestShiftCharsDownAgainstDecode(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	for _, n := range []int{10, 16, 17, 100, 250} {
+	for _, n := range []int{10, 32, 33, 100, 250} {
 		seq := dna.RandomSeq(rng, n)
 		words, err := dna.Encode(seq)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, k := range []int{0, 1, 2, 3, 7, 15, 16, 17} {
+		for _, k := range []int{0, 1, 2, 3, 7, 31, 32, 33} {
 			if k > n {
 				continue
 			}
-			dst := make([]uint32, len(words))
+			dst := make([]uint64, len(words))
 			ShiftCharsDown(dst, words, k)
 			got := dna.Decode(dst, n)
 			for i := 0; i < n; i++ {
@@ -94,8 +97,8 @@ func TestShiftRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	seq := dna.RandomSeq(rng, 150)
 	words, _ := dna.Encode(seq)
-	up := make([]uint32, len(words))
-	back := make([]uint32, len(words))
+	up := make([]uint64, len(words))
+	back := make([]uint64, len(words))
 	for k := 0; k <= 10; k++ {
 		ShiftCharsUp(up, words, k)
 		ShiftCharsDown(back, up, k)
@@ -115,12 +118,12 @@ func TestExtractChars(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, start := range []int{0, 1, 7, 15, 16, 17, 100, 399, 400} {
-		for _, n := range []int{1, 16, 100, 33} {
+	for _, start := range []int{0, 1, 7, 31, 32, 33, 100, 399, 400} {
+		for _, n := range []int{1, 32, 100, 33} {
 			if start+n > len(ref) {
 				continue
 			}
-			dst := make([]uint32, EncodedWords(n))
+			dst := make([]uint64, EncodedWords(n))
 			ExtractChars(dst, refEnc, start, n)
 			got := dna.Decode(dst, n)
 			if string(got) != string(ref[start:start+n]) {
@@ -131,8 +134,8 @@ func TestExtractChars(t *testing.T) {
 }
 
 func TestExtractCharsPaddingZeroed(t *testing.T) {
-	src := []uint32{^uint32(0), ^uint32(0)}
-	dst := make([]uint32, 1)
+	src := []uint64{^uint64(0), ^uint64(0)}
+	dst := make([]uint64, 1)
 	ExtractChars(dst, src, 3, 5) // 5 chars -> 10 bits used
 	if dst[0]>>10 != 0 {
 		t.Fatalf("padding bits leaked: %#x", dst[0])
@@ -146,7 +149,7 @@ func TestExtractCharsQuick(t *testing.T) {
 	f := func(startRaw, nRaw uint16) bool {
 		n := int(nRaw)%150 + 1
 		start := int(startRaw) % (300 - n)
-		dst := make([]uint32, EncodedWords(n))
+		dst := make([]uint64, EncodedWords(n))
 		ExtractChars(dst, refEnc, start, n)
 		return string(dna.Decode(dst, n)) == string(ref[start:start+n])
 	}
@@ -157,14 +160,14 @@ func TestExtractCharsQuick(t *testing.T) {
 
 func TestCollapseMatchesPerCharComparison(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	for _, n := range []int{5, 16, 33, 100, 150, 250} {
+	for _, n := range []int{5, 32, 33, 100, 150, 250} {
 		a := dna.RandomSeq(rng, n)
 		b := dna.MutateSubstitutions(rng, a, n/10+1)
 		wa, _ := dna.Encode(a)
 		wb, _ := dna.Encode(b)
-		x := make([]uint32, len(wa))
+		x := make([]uint64, len(wa))
 		XorInto(x, wa, wb)
-		mask := make([]uint32, MaskWords(n))
+		mask := make([]uint64, MaskWords(n))
 		Collapse(mask, x)
 		for i := 0; i < n; i++ {
 			want := a[i] != b[i]
@@ -175,29 +178,40 @@ func TestCollapseMatchesPerCharComparison(t *testing.T) {
 	}
 }
 
+func TestCollapsePairMatchesCollapse(t *testing.T) {
+	f := func(lo, hi uint64) bool {
+		dst := make([]uint64, 1)
+		Collapse(dst, []uint64{lo, hi})
+		return dst[0] == CollapsePair(lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLogicOps(t *testing.T) {
-	a := []uint32{0b1100, 0xFFFF0000}
-	b := []uint32{0b1010, 0x0F0F0F0F}
-	dst := make([]uint32, 2)
+	a := []uint64{0b1100, 0xFFFF0000FFFF0000}
+	b := []uint64{0b1010, 0x0F0F0F0F0F0F0F0F}
+	dst := make([]uint64, 2)
 	AndInto(dst, a, b)
-	if dst[0] != 0b1000 || dst[1] != 0x0F0F0000 {
+	if dst[0] != 0b1000 || dst[1] != 0x0F0F00000F0F0000 {
 		t.Fatalf("AndInto = %#x %#x", dst[0], dst[1])
 	}
 	OrInto(dst, a, b)
-	if dst[0] != 0b1110 || dst[1] != 0xFFFF0F0F {
+	if dst[0] != 0b1110 || dst[1] != 0xFFFF0F0FFFFF0F0F {
 		t.Fatalf("OrInto = %#x %#x", dst[0], dst[1])
 	}
 	XorInto(dst, a, b)
-	if dst[0] != 0b0110 || dst[1] != 0xF0F00F0F {
+	if dst[0] != 0b0110 || dst[1] != 0xF0F00F0FF0F00F0F {
 		t.Fatalf("XorInto = %#x %#x", dst[0], dst[1])
 	}
 }
 
 func TestSetLeadingOnes(t *testing.T) {
-	for _, k := range []int{0, 1, 5, 31, 32, 33, 64, 70} {
-		mask := make([]uint32, 3)
+	for _, k := range []int{0, 1, 5, 63, 64, 65, 128, 140} {
+		mask := make([]uint64, 3)
 		SetLeadingOnes(mask, k)
-		for i := 0; i < 96; i++ {
+		for i := 0; i < 192; i++ {
 			want := i < k
 			if Bit(mask, i) != want {
 				t.Fatalf("k=%d bit %d = %v, want %v", k, i, Bit(mask, i), want)
@@ -207,9 +221,9 @@ func TestSetLeadingOnes(t *testing.T) {
 }
 
 func TestSetTrailingOnes(t *testing.T) {
-	for _, n := range []int{10, 32, 33, 70, 96} {
-		for _, k := range []int{0, 1, 5, 32, 40, 100} {
-			mask := make([]uint32, 3)
+	for _, n := range []int{10, 64, 65, 140, 192} {
+		for _, k := range []int{0, 1, 5, 64, 80, 200} {
+			mask := make([]uint64, 3)
 			SetTrailingOnes(mask, n, k)
 			kk := k
 			if kk > n {
@@ -221,7 +235,7 @@ func TestSetTrailingOnes(t *testing.T) {
 					t.Fatalf("n=%d k=%d bit %d = %v, want %v", n, k, i, Bit(mask, i), want)
 				}
 			}
-			for i := n; i < 96; i++ {
+			for i := n; i < 192; i++ {
 				if Bit(mask, i) {
 					t.Fatalf("n=%d k=%d: bit %d beyond n set", n, k, i)
 				}
@@ -231,10 +245,10 @@ func TestSetTrailingOnes(t *testing.T) {
 }
 
 func TestClearLeading(t *testing.T) {
-	for _, k := range []int{0, 1, 5, 31, 32, 33, 64, 70} {
-		mask := []uint32{^uint32(0), ^uint32(0), ^uint32(0)}
+	for _, k := range []int{0, 1, 5, 63, 64, 65, 128, 140} {
+		mask := []uint64{^uint64(0), ^uint64(0), ^uint64(0)}
 		ClearLeading(mask, k)
-		for i := 0; i < 96; i++ {
+		for i := 0; i < 192; i++ {
 			want := i >= k
 			if Bit(mask, i) != want {
 				t.Fatalf("k=%d bit %d = %v, want %v", k, i, Bit(mask, i), want)
@@ -244,9 +258,9 @@ func TestClearLeading(t *testing.T) {
 }
 
 func TestClearTrailing(t *testing.T) {
-	for _, n := range []int{10, 32, 33, 70, 96} {
-		for _, k := range []int{0, 1, 5, 32, 40, 100} {
-			mask := []uint32{^uint32(0), ^uint32(0), ^uint32(0)}
+	for _, n := range []int{10, 64, 65, 140, 192} {
+		for _, k := range []int{0, 1, 5, 64, 80, 200} {
+			mask := []uint64{^uint64(0), ^uint64(0), ^uint64(0)}
 			ClearTrailing(mask, n, k)
 			kk := k
 			if kk > n {
@@ -263,14 +277,14 @@ func TestClearTrailing(t *testing.T) {
 }
 
 func TestClearTail(t *testing.T) {
-	mask := []uint32{^uint32(0), ^uint32(0), ^uint32(0)}
-	ClearTail(mask, 40)
-	for i := 0; i < 40; i++ {
+	mask := []uint64{^uint64(0), ^uint64(0), ^uint64(0)}
+	ClearTail(mask, 70)
+	for i := 0; i < 70; i++ {
 		if !Bit(mask, i) {
 			t.Fatalf("bit %d cleared inside range", i)
 		}
 	}
-	for i := 40; i < 96; i++ {
+	for i := 70; i < 192; i++ {
 		if Bit(mask, i) {
 			t.Fatalf("bit %d set beyond range", i)
 		}
@@ -324,7 +338,7 @@ func TestAmendAgainstReference(t *testing.T) {
 	}
 	for _, s := range cases {
 		mask := refMaskFromString(s)
-		dst := make([]uint32, len(mask))
+		dst := make([]uint64, len(mask))
 		Amend(dst, mask, len(s))
 		if got := String(dst, len(s)); got != refAmend(s) {
 			t.Errorf("Amend(%s) = %s, want %s", s, got, refAmend(s))
@@ -334,7 +348,7 @@ func TestAmendAgainstReference(t *testing.T) {
 
 func TestAmendQuick(t *testing.T) {
 	f := func(raw []byte, nRaw uint8) bool {
-		n := int(nRaw)%120 + 1
+		n := int(nRaw)%200 + 1
 		var sb strings.Builder
 		for i := 0; i < n; i++ {
 			if i < len(raw) && raw[i]%2 == 1 {
@@ -345,7 +359,7 @@ func TestAmendQuick(t *testing.T) {
 		}
 		s := sb.String()
 		mask := refMaskFromString(s)
-		dst := make([]uint32, len(mask))
+		dst := make([]uint64, len(mask))
 		Amend(dst, mask, n)
 		return String(dst, n) == refAmend(s)
 	}
@@ -355,20 +369,20 @@ func TestAmendQuick(t *testing.T) {
 }
 
 func TestAmendCrossesWordBoundary(t *testing.T) {
-	// A single zero exactly at a 32-bit word boundary must still be filled.
-	s := strings.Repeat("1", 31) + "0" + strings.Repeat("1", 10)
+	// A single zero exactly at a 64-bit word boundary must still be filled.
+	s := strings.Repeat("1", 63) + "0" + strings.Repeat("1", 10)
 	mask := refMaskFromString(s)
-	dst := make([]uint32, len(mask))
+	dst := make([]uint64, len(mask))
 	Amend(dst, mask, len(s))
-	if got := String(dst, len(s)); got != strings.Repeat("1", 42) {
+	if got := String(dst, len(s)); got != strings.Repeat("1", 74) {
 		t.Fatalf("boundary fill failed: %s", got)
 	}
 	// Double zero straddling the boundary.
-	s = strings.Repeat("1", 31) + "00" + strings.Repeat("1", 10)
+	s = strings.Repeat("1", 63) + "00" + strings.Repeat("1", 10)
 	mask = refMaskFromString(s)
-	dst = make([]uint32, len(mask))
+	dst = make([]uint64, len(mask))
 	Amend(dst, mask, len(s))
-	if got := String(dst, len(s)); got != strings.Repeat("1", 43) {
+	if got := String(dst, len(s)); got != strings.Repeat("1", 75) {
 		t.Fatalf("double boundary fill failed: %s", got)
 	}
 }
@@ -410,8 +424,8 @@ func TestCountRunsKnown(t *testing.T) {
 
 func TestCountRunsLUTAgreesWithBitTrick(t *testing.T) {
 	f := func(raw []byte, nRaw uint8) bool {
-		n := int(nRaw)%150 + 1
-		mask := make([]uint32, MaskWords(n))
+		n := int(nRaw)%200 + 1
+		mask := make([]uint64, MaskWords(n))
 		for i := 0; i < n; i++ {
 			if i < len(raw) && raw[i]%2 == 1 {
 				SetBit(mask, i)
@@ -425,16 +439,51 @@ func TestCountRunsLUTAgreesWithBitTrick(t *testing.T) {
 }
 
 func TestCountRunsAcrossWordBoundary(t *testing.T) {
-	// One run spanning bits 30..34 must count once.
-	mask := make([]uint32, 2)
-	for i := 30; i <= 34; i++ {
+	// One run spanning bits 62..66 must count once.
+	mask := make([]uint64, 2)
+	for i := 62; i <= 66; i++ {
 		SetBit(mask, i)
 	}
-	if got := CountRuns(mask, 64); got != 1 {
+	if got := CountRuns(mask, 128); got != 1 {
 		t.Fatalf("spanning run counted %d times", got)
 	}
-	if got := CountRunsLUT(mask, 64); got != 1 {
+	if got := CountRunsLUT(mask, 128); got != 1 {
 		t.Fatalf("LUT spanning run counted %d times", got)
+	}
+}
+
+// refCountWindows is the per-character reference for the windowed counter.
+func refCountWindows(s string) int {
+	count := 0
+	for i := 0; i < len(s); i += 4 {
+		hi := i + 4
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if strings.Contains(s[i:hi], "1") {
+			count++
+		}
+	}
+	return count
+}
+
+func TestCountWindowsAgainstReference(t *testing.T) {
+	f := func(raw []byte, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			if i < len(raw) && raw[i]%2 == 1 {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		s := sb.String()
+		mask := refMaskFromString(s)
+		return CountWindowsLUT(mask, n) == refCountWindows(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -446,10 +495,31 @@ func TestOnesCount(t *testing.T) {
 	if got := OnesCount(mask, 3); got != 2 {
 		t.Fatalf("OnesCount prefix = %d, want 2", got)
 	}
-	big := []uint32{^uint32(0), ^uint32(0)}
-	if got := OnesCount(big, 40); got != 40 {
-		t.Fatalf("OnesCount(40 of ones) = %d", got)
+	big := []uint64{^uint64(0), ^uint64(0)}
+	if got := OnesCount(big, 80); got != 80 {
+		t.Fatalf("OnesCount(80 of ones) = %d", got)
 	}
+}
+
+// refLongestZeroRun is the bit-by-bit oracle the word-at-a-time scan must
+// reproduce exactly (same start on ties: first longest wins).
+func refLongestZeroRun(mask []uint64, lo, hi int) (start, length int) {
+	bestStart, bestLen := lo, 0
+	curStart, curLen := lo, 0
+	for i := lo; i < hi; i++ {
+		if mask[i/64]>>(uint(i%64))&1 == 0 {
+			if curLen == 0 {
+				curStart = i
+			}
+			curLen++
+			if curLen > bestLen {
+				bestStart, bestLen = curStart, curLen
+			}
+		} else {
+			curLen = 0
+		}
+	}
+	return bestStart, bestLen
 }
 
 func TestLongestZeroRun(t *testing.T) {
@@ -465,6 +535,42 @@ func TestLongestZeroRun(t *testing.T) {
 	_, length = LongestZeroRun(refMaskFromString("1111"), 0, 4)
 	if length != 0 {
 		t.Fatalf("all-ones should have zero-length run, got %d", length)
+	}
+	if s, l := LongestZeroRun(mask, 5, 5); s != 5 || l != 0 {
+		t.Fatalf("empty interval = (%d,%d), want (5,0)", s, l)
+	}
+}
+
+func TestLongestZeroRunQuickAgainstBitScan(t *testing.T) {
+	f := func(raw []byte, loRaw, hiRaw uint8, dense bool) bool {
+		n := 200
+		mask := make([]uint64, MaskWords(n))
+		for i := 0; i < n; i++ {
+			if i < len(raw)*8 {
+				bit := raw[i/8] >> uint(i%8) & 1
+				if (bit == 1) == dense {
+					SetBit(mask, i)
+				}
+			}
+		}
+		lo := int(loRaw) % n
+		hi := lo + int(hiRaw)%(n-lo+1)
+		gs, gl := LongestZeroRun(mask, lo, hi)
+		ws, wl := refLongestZeroRun(mask, lo, hi)
+		return gs == ws && gl == wl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongestZeroRunCrossesWordBoundaries(t *testing.T) {
+	// A 100-zero run spanning two word boundaries must be stitched whole.
+	s := strings.Repeat("1", 30) + strings.Repeat("0", 100) + strings.Repeat("1", 20)
+	mask := refMaskFromString(s)
+	start, length := LongestZeroRun(mask, 0, len(s))
+	if start != 30 || length != 100 {
+		t.Fatalf("spanning zero run = (%d,%d), want (30,100)", start, length)
 	}
 }
 
@@ -486,13 +592,13 @@ func TestShiftQuickInverse(t *testing.T) {
 			}
 			seq[i] = dna.Alphabet[int(b)%4]
 		}
-		k := int(kRaw) % 20
+		k := int(kRaw) % 40
 		words, err := dna.Encode(seq)
 		if err != nil {
 			return false
 		}
-		up := make([]uint32, len(words))
-		back := make([]uint32, len(words))
+		up := make([]uint64, len(words))
+		back := make([]uint64, len(words))
 		ShiftCharsUp(up, words, k)
 		ShiftCharsDown(back, up, k)
 		got := dna.Decode(back, n)

@@ -45,7 +45,7 @@ func TestHasN(t *testing.T) {
 }
 
 func TestWordsFor(t *testing.T) {
-	cases := map[int]int{0: 0, 1: 1, 15: 1, 16: 1, 17: 2, 32: 2, 100: 7, 150: 10, 250: 16, 300: 19}
+	cases := map[int]int{0: 0, 1: 1, 31: 1, 32: 1, 33: 2, 64: 2, 100: 4, 150: 5, 250: 8, 300: 10}
 	for n, want := range cases {
 		if got := WordsFor(n); got != want {
 			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
@@ -95,14 +95,14 @@ func TestEncodeRejectsN(t *testing.T) {
 }
 
 func TestEncodeIntoBufferTooSmall(t *testing.T) {
-	buf := make([]uint32, 1)
-	if err := EncodeInto(buf, []byte(strings.Repeat("A", 17))); err == nil {
+	buf := make([]uint64, 1)
+	if err := EncodeInto(buf, []byte(strings.Repeat("A", 33))); err == nil {
 		t.Fatal("EncodeInto accepted an undersized buffer")
 	}
 }
 
 func TestEncodeIntoZeroesStaleBits(t *testing.T) {
-	buf := []uint32{0xFFFFFFFF, 0xFFFFFFFF}
+	buf := []uint64{^uint64(0), ^uint64(0)}
 	if err := EncodeInto(buf, []byte("AAAA")); err != nil {
 		t.Fatal(err)
 	}

@@ -51,9 +51,9 @@ func FuzzDNAEncodeRoundTrip(f *testing.F) {
 		}
 		// EncodeInto must agree with Encode and zero the tail bits it does
 		// not use, so buffers can be reused across sequences.
-		buf := make([]uint32, WordsFor(len(seq))+2)
+		buf := make([]uint64, WordsFor(len(seq))+2)
 		for i := range buf {
-			buf[i] = ^uint32(0)
+			buf[i] = ^uint64(0)
 		}
 		if err := EncodeInto(buf, seq); err != nil {
 			t.Fatalf("EncodeInto rejected a clean sequence: %v", err)

@@ -20,7 +20,11 @@ type Decision struct {
 	Accept bool
 	// Estimate is the filter's approximation of the edit distance. It is
 	// meaningful only when the filter computed one (Undefined pairs skip
-	// filtration entirely).
+	// filtration entirely). The GateKeeper kernels seal accepts early by
+	// default, so an accepted pair's Estimate is an upper bound (still
+	// <= e) rather than the exhaustive windowed count; callers comparing
+	// estimates should request Kernel.SetExactEstimate (the gatekeeper
+	// wrappers forward it).
 	Estimate int
 	// Undefined reports that the pair contained an unknown base call ('N')
 	// and was passed through without filtration, as GateKeeper-GPU does by

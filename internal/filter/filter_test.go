@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/align"
+	"repro/internal/bitvec"
 	"repro/internal/dna"
 )
 
@@ -175,6 +176,10 @@ func TestFPGAMissesEdgeMismatchesFigure2(t *testing.T) {
 	}
 	gpu := NewKernel(ModeGPU, L, e)
 	fpga := NewKernel(ModeFPGA, L, e)
+	// The assertions below pin exact estimate values; the default kernel may
+	// seal an accept early with a coarser (<= e) estimate.
+	gpu.SetExactEstimate(true)
+	fpga.SetExactEstimate(true)
 	df := fpga.Filter(read, ref, e)
 	dg := gpu.Filter(read, ref, e)
 	if !df.Accept {
@@ -450,6 +455,50 @@ func TestNeighborhoodMap(t *testing.T) {
 	// d=+1: ref position i vs read position i-1; position 0 vacated.
 	if !masks[2][0] {
 		t.Fatal("vacated position should mismatch")
+	}
+}
+
+func TestNeighborhoodMasksMatchBoolOracle(t *testing.T) {
+	// The packed diagonal masks MAGNET scans must agree bit for bit with
+	// the bool neighborhood, and the word-at-a-time longest-zero-run scan
+	// must agree with the per-entry oracle on every diagonal and interval —
+	// a packing bug here would only move MAGNET's accept rate, which the
+	// differential suite merely bounds.
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 80; trial++ {
+		L := 1 + rng.Intn(200)
+		e := rng.Intn(8)
+		read := dna.RandomSeq(rng, L)
+		var ref []byte
+		if trial%2 == 0 {
+			ref = dna.MutateSubstitutions(rng, read, rng.Intn(L+1))
+		} else {
+			ref = dna.RandomSeq(rng, L)
+		}
+		if trial%7 == 0 {
+			ref[rng.Intn(L)] = 'N' // byte-equality semantics: N matches N only
+		}
+		boolMasks := neighborhood(read, ref, e)
+		packed := neighborhoodMasks(read, ref, e)
+		if len(boolMasks) != len(packed) {
+			t.Fatalf("mask count %d vs %d", len(packed), len(boolMasks))
+		}
+		for d := range boolMasks {
+			for i := 0; i < L; i++ {
+				if bitvec.Bit(packed[d], i) != boolMasks[d][i] {
+					t.Fatalf("trial=%d L=%d e=%d diagonal=%d bit %d: packed=%v bool=%v",
+						trial, L, e, d, i, bitvec.Bit(packed[d], i), boolMasks[d][i])
+				}
+			}
+			lo := rng.Intn(L + 1)
+			hi := lo + rng.Intn(L+1-lo)
+			gs, gl := bitvec.LongestZeroRun(packed[d], lo, hi)
+			ws, wl := longestZeroRunBool(boolMasks[d], lo, hi)
+			if gs != ws || gl != wl {
+				t.Fatalf("trial=%d diagonal=%d [%d,%d): packed run (%d,%d) vs bool (%d,%d)",
+					trial, d, lo, hi, gs, gl, ws, wl)
+			}
+		}
 	}
 }
 

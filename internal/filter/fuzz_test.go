@@ -5,16 +5,20 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/dna"
+	"repro/internal/ref32"
 )
 
 // FuzzKernelFilterEncoded drives the improved GateKeeper kernel with
-// arbitrary sequence pairs and thresholds. The two fuzzed invariants are
-// the kernel's load-bearing guarantees: it must never panic for any
-// geometry the engine can configure, and it must never falsely reject — a
-// pair whose exact edit distance is within threshold always passes to
+// arbitrary sequence pairs and thresholds. The fuzzed invariants are the
+// kernel's load-bearing guarantees: it must never panic for any geometry
+// the engine can configure, and it must never falsely reject — a pair
+// whose exact edit distance is within threshold always passes to
 // verification (the paper's Section 5.1 invariant, here pushed beyond the
 // curated datasets onto adversarial inputs). The raw-byte FilterChecked
-// path must also agree with the pre-encoded path the engine uses.
+// path must agree with the pre-encoded path the engine uses, and the fused
+// 64-bit kernel must stay bit-identical to the retained 32-bit unfused
+// chain (internal/ref32): same decision always, same estimate in
+// exact-estimate mode.
 func FuzzKernelFilterEncoded(f *testing.F) {
 	f.Add([]byte("ACGTACGTACGTACGTACGT"), []byte("ACGTACGTACGAACGTACGT"), uint8(2))
 	f.Add([]byte("AAAAAAAAAAAAAAAAA"), []byte("TTTTTTTTTTTTTTTTT"), uint8(0))
@@ -65,6 +69,23 @@ func FuzzKernelFilterEncoded(f *testing.F) {
 		if checked.Accept != accept || checked.Estimate != est {
 			t.Fatalf("raw-byte path drifted from encoded path: %+v vs est=%d accept=%v",
 				checked, est, accept)
+		}
+
+		// Differential against the retained 32-bit reference chain: the
+		// default kernel's sealed decision must match, and the exact-mode
+		// kernel must reproduce the estimate bit for bit.
+		r32 := ref32.NewKernel(true, L)
+		est32, acc32 := r32.Filter(read, ref, e)
+		if acc32 != accept {
+			t.Fatalf("64-bit decision %v diverged from 32-bit reference %v (L=%d e=%d est=%d est32=%d)",
+				accept, acc32, L, e, est, est32)
+		}
+		exact := NewKernel(ModeGPU, L, e)
+		exact.SetExactEstimate(true)
+		estX, accX := exact.FilterEncoded(readEnc, refEnc, e)
+		if accX != acc32 || estX != est32 {
+			t.Fatalf("exact 64-bit (est=%d acc=%v) diverged from 32-bit reference (est=%d acc=%v), L=%d e=%d",
+				estX, accX, est32, acc32, L, e)
 		}
 	})
 }

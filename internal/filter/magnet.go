@@ -1,5 +1,7 @@
 package filter
 
+import "repro/internal/bitvec"
+
 // magnet implements the MAGNET pre-alignment filter (Alser, Mutlu, Alkan,
 // 2017). MAGNET addresses SHD's two main sources of false accepts — ignored
 // leading/trailing zeros and naive consecutive-bit counting — by extracting,
@@ -7,6 +9,11 @@ package filter
 // consecutive matches. Each extraction consumes a one-character border on
 // each side (the presumed edit separating consecutive exact regions); the
 // pair is accepted when the unmatched remainder is within the threshold.
+//
+// The diagonal vectors are packed bitmasks and each extraction scans them
+// word-at-a-time (bitvec.LongestZeroRun): the extraction loop re-walks every
+// vector for each of the e+1 extractions, which made the per-entry bool scan
+// MAGNET's dominant cost.
 type magnet struct{}
 
 // NewMAGNET returns the MAGNET baseline filter. It is stateless and safe for
@@ -25,7 +32,7 @@ func (magnet) Filter(read, ref []byte, e int) Decision {
 	if L == 0 {
 		return Decision{Accept: true}
 	}
-	masks := neighborhood(read, ref, e)
+	masks := neighborhoodMasks(read, ref, e)
 
 	intervals := []magnetInterval{{0, L}}
 	matched := 0
@@ -36,7 +43,7 @@ func (magnet) Filter(read, ref []byte, e int) Decision {
 				continue
 			}
 			for _, m := range masks {
-				start, length := longestZeroRunBool(m, iv.lo, iv.hi)
+				start, length := bitvec.LongestZeroRun(m, iv.lo, iv.hi)
 				if length > bestLen {
 					bestLen, bestStart, bestIv = length, start, ivIdx
 				}

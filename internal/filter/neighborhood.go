@@ -1,5 +1,7 @@
 package filter
 
+import "repro/internal/bitvec"
+
 // neighborhood builds the 2e+1 diagonal mismatch vectors shared by the
 // MAGNET, Shouji and SneakySnake baselines. Entry masks[e+d][i] is false
 // (match) when the read shifted by d characters agrees with the reference at
@@ -30,7 +32,9 @@ func neighborhood(read, ref []byte, e int) [][]bool {
 }
 
 // longestZeroRunBool finds the longest run of matches (false entries) in
-// mask within [lo, hi), returning its start and length (0 when none).
+// mask within [lo, hi), returning its start and length (0 when none). It is
+// the per-entry oracle for the packed scan MAGNET actually runs
+// (bitvec.LongestZeroRun); the property tests hold the two together.
 func longestZeroRunBool(mask []bool, lo, hi int) (start, length int) {
 	bestStart, bestLen := lo, 0
 	curStart, curLen := lo, 0
@@ -48,4 +52,35 @@ func longestZeroRunBool(mask []bool, lo, hi int) (start, length int) {
 		}
 	}
 	return bestStart, bestLen
+}
+
+// neighborhoodMasks is neighborhood in packed form: the same 2*e+1 diagonal
+// vectors as 1-bit-per-base masks (bit set = mismatch), in one backing
+// allocation. MAGNET's extraction loop re-scans these vectors e+1 times per
+// pair, so it wants the word-at-a-time bitvec.LongestZeroRun rather than a
+// per-entry walk. The same byte-equality semantics apply ('N' matches 'N').
+func neighborhoodMasks(read, ref []byte, e int) [][]uint64 {
+	L := len(read)
+	mw := bitvec.MaskWords(L)
+	masks := make([][]uint64, 2*e+1)
+	backing := make([]uint64, (2*e+1)*mw)
+	for d := -e; d <= e; d++ {
+		m := backing[(e+d)*mw : (e+d+1)*mw]
+		var w uint64
+		for i := 0; i < L; i++ {
+			ri := i - d // read index aligned against ref position i
+			if ri < 0 || ri >= L || read[ri] != ref[i] {
+				w |= uint64(1) << uint(i&63)
+			}
+			if i&63 == 63 {
+				m[i>>6] = w
+				w = 0
+			}
+		}
+		if L&63 != 0 {
+			m[mw-1] = w
+		}
+		masks[e+d] = m
+	}
+	return masks
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/dna"
+	"repro/internal/ref32"
 )
 
 // refModel is a deliberately slow, per-character implementation of the
@@ -105,10 +106,13 @@ func refWindows(mask []bool) int {
 
 func TestKernelMatchesReferenceModelExhaustive(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for _, L := range []int{17, 32, 33, 100, 150, 250} {
+	for _, L := range []int{17, 32, 33, 64, 65, 100, 150, 250} {
 		for _, e := range []int{0, 1, 2, 5, L / 10} {
 			for _, mode := range []Mode{ModeGPU, ModeFPGA} {
+				exact := NewKernel(mode, L, e)
+				exact.SetExactEstimate(true)
 				kern := NewKernel(mode, L, e)
+				ref32k := ref32.NewKernel(mode == ModeGPU, L)
 				for trial := 0; trial < 25; trial++ {
 					read := dna.RandomSeq(rng, L)
 					var ref []byte
@@ -126,10 +130,32 @@ func TestKernelMatchesReferenceModelExhaustive(t *testing.T) {
 						ref = dna.RandomSeq(rng, L)
 					}
 					wantEst, wantAccept := refModel(read, ref, e, mode)
-					d := kern.Filter(read, ref, e)
+					d := exact.Filter(read, ref, e)
 					if d.Accept != wantAccept || d.Estimate != wantEst {
-						t.Fatalf("L=%d e=%d mode=%v trial=%d: kernel (est=%d acc=%v) vs model (est=%d acc=%v)\nread=%s\nref =%s",
+						t.Fatalf("L=%d e=%d mode=%v trial=%d: exact kernel (est=%d acc=%v) vs model (est=%d acc=%v)\nread=%s\nref =%s",
 							L, e, mode, trial, d.Estimate, d.Accept, wantEst, wantAccept, read, ref)
+					}
+					// The retained 32-bit chain must agree bit for bit with
+					// the exact-mode fused kernel.
+					est32, acc32 := ref32k.Filter(read, ref, e)
+					if acc32 != wantAccept || est32 != wantEst {
+						t.Fatalf("L=%d e=%d mode=%v trial=%d: ref32 (est=%d acc=%v) vs model (est=%d acc=%v)",
+							L, e, mode, trial, est32, acc32, wantEst, wantAccept)
+					}
+					// The default kernel may stop early, but its decision is
+					// sealed by monotonicity and its estimate never exceeds e
+					// on an accept.
+					dd := kern.Filter(read, ref, e)
+					if dd.Accept != wantAccept {
+						t.Fatalf("L=%d e=%d mode=%v trial=%d: early-accept kernel decision %v, want %v",
+							L, e, mode, trial, dd.Accept, wantAccept)
+					}
+					if dd.Accept && dd.Estimate > e {
+						t.Fatalf("L=%d e=%d: early-accept estimate %d exceeds threshold", L, e, dd.Estimate)
+					}
+					if dd.Estimate < wantEst {
+						t.Fatalf("L=%d e=%d: early estimate %d below exact %d (count must be monotone)",
+							L, e, dd.Estimate, wantEst)
 					}
 				}
 			}
@@ -140,6 +166,8 @@ func TestKernelMatchesReferenceModelExhaustive(t *testing.T) {
 func TestKernelMatchesReferenceModelQuick(t *testing.T) {
 	kernGPU := NewKernel(ModeGPU, 64, 6)
 	kernFPGA := NewKernel(ModeFPGA, 64, 6)
+	kernGPU.SetExactEstimate(true)
+	kernFPGA.SetExactEstimate(true)
 	f := func(rawRead, rawRef [64]byte, eRaw uint8) bool {
 		read := make([]byte, 64)
 		ref := make([]byte, 64)
@@ -167,5 +195,52 @@ func TestKernelMatchesReferenceModelQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestKernelMatchesRef32Property drives the fused 64-bit kernel and the
+// retained 32-bit unfused chain (internal/ref32) with identical random
+// pairs across geometries, ablations and both modes: exact-mode estimates
+// and decisions must be bit-identical, and the default early-accept kernel
+// must seal the same decisions.
+func TestKernelMatchesRef32Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, L := range []int{1, 3, 16, 31, 32, 33, 63, 64, 65, 96, 100, 127, 128, 129, 250, 300} {
+		for _, mode := range []Mode{ModeGPU, ModeFPGA} {
+			for _, abl := range []Ablation{{}, {SkipAmendment: true}, {CountRuns: true}} {
+				maxE := L
+				if maxE > 20 {
+					maxE = 20
+				}
+				exact := NewKernel(mode, L, maxE)
+				exact.SetExactEstimate(true)
+				exact.SetAblation(abl)
+				def := NewKernel(mode, L, maxE)
+				def.SetAblation(abl)
+				r32 := ref32.NewKernel(mode == ModeGPU, L)
+				r32.SkipAmendment = abl.SkipAmendment
+				r32.CountRuns = abl.CountRuns
+				for trial := 0; trial < 12; trial++ {
+					read := dna.RandomSeq(rng, L)
+					var ref []byte
+					if trial%2 == 0 {
+						ref = dna.MutateSubstitutions(rng, read, rng.Intn(L+1))
+					} else {
+						ref = dna.RandomSeq(rng, L)
+					}
+					e := rng.Intn(maxE + 1)
+					wantEst, wantAccept := r32.Filter(read, ref, e)
+					d := exact.Filter(read, ref, e)
+					if d.Accept != wantAccept || d.Estimate != wantEst {
+						t.Fatalf("L=%d e=%d mode=%v abl=%+v: fused exact (est=%d acc=%v) vs ref32 (est=%d acc=%v)\nread=%s\nref =%s",
+							L, e, mode, abl, d.Estimate, d.Accept, wantEst, wantAccept, read, ref)
+					}
+					if dd := def.Filter(read, ref, e); dd.Accept != wantAccept {
+						t.Fatalf("L=%d e=%d mode=%v abl=%+v: early-accept decision %v, want %v",
+							L, e, mode, abl, dd.Accept, wantAccept)
+					}
+				}
+			}
+		}
 	}
 }

@@ -39,7 +39,9 @@ type MaskStep struct {
 
 // Trace runs one filtration capturing all intermediate masks. It allocates
 // freely and exists for inspection, documentation and debugging; the hot
-// path is Kernel.FilterEncoded.
+// path is Kernel.FilterEncoded. Its estimate is always exhaustive, so it
+// matches a Kernel in exact-estimate mode (SetExactEstimate) — the default
+// kernel may seal an accept early with a coarser (but still <= e) estimate.
 func Trace(mode Mode, read, ref []byte, e int) (MaskTrace, error) {
 	if len(read) != len(ref) {
 		return MaskTrace{}, fmt.Errorf("filter: trace on unequal lengths %d/%d", len(read), len(ref))
@@ -61,11 +63,11 @@ func Trace(mode Mode, read, ref []byte, e int) (MaskTrace, error) {
 	}
 	ew := bitvec.EncodedWords(L)
 	mw := bitvec.MaskWords(L)
-	shifted := make([]uint32, ew)
-	xorBuf := make([]uint32, ew)
-	mask := make([]uint32, mw)
-	amended := make([]uint32, mw)
-	final := make([]uint32, mw)
+	shifted := make([]uint64, ew)
+	xorBuf := make([]uint64, ew)
+	mask := make([]uint64, mw)
+	amended := make([]uint64, mw)
+	final := make([]uint64, mw)
 
 	tr := MaskTrace{ReadLen: L, E: e, Mode: mode}
 

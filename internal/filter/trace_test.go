@@ -21,6 +21,7 @@ func TestTraceMatchesKernelDecision(t *testing.T) {
 				t.Fatal(err)
 			}
 			kern := NewKernel(mode, L, e)
+			kern.SetExactEstimate(true) // Trace's estimate is always exhaustive
 			d := kern.Filter(read, ref, e)
 			if tr.Accept != d.Accept || tr.Estimate != d.Estimate {
 				t.Fatalf("trace (est=%d acc=%v) != kernel (est=%d acc=%v), mode=%v trial=%d",

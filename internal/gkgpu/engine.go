@@ -96,11 +96,11 @@ type deviceState struct {
 	// Kernel-side scratch: per-worker kernels and word views used while
 	// decoding packed input inside the simulated kernel.
 	kernels   []*filter.Kernel
-	readWords [][]uint32
-	refWords  [][]uint32
+	readWords [][]uint64
+	refWords  [][]uint64
 	// Host-side encode-pool scratch, disjoint from the kernel scratch so the
 	// encode of one buffer set can overlap the launch of the other.
-	encWords [][]uint32
+	encWords [][]uint64
 }
 
 // Engine is a GateKeeper-GPU instance bound to a context of simulated
@@ -150,7 +150,7 @@ func NewEngine(cfg Config, ctx *cuda.Context) (*Engine, error) {
 		if cfg.Encoding == EncodeOnDevice {
 			seqBytes = cfg.ReadLen
 		} else {
-			seqBytes = bitvec.EncodedWords(cfg.ReadLen) * 4
+			seqBytes = bitvec.EncodedWords(cfg.ReadLen) * 8
 		}
 		for i := range st.sets {
 			set, err := allocSet(dev, sys.BatchPairs, seqBytes)
@@ -164,9 +164,9 @@ func NewEngine(cfg Config, ctx *cuda.Context) (*Engine, error) {
 		mode := filter.ModeGPU
 		for w := 0; w < workers; w++ {
 			st.kernels = append(st.kernels, filter.NewKernel(mode, cfg.ReadLen, cfg.MaxE))
-			st.readWords = append(st.readWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
-			st.refWords = append(st.refWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
-			st.encWords = append(st.encWords, make([]uint32, bitvec.EncodedWords(cfg.ReadLen)))
+			st.readWords = append(st.readWords, make([]uint64, bitvec.EncodedWords(cfg.ReadLen)))
+			st.refWords = append(st.refWords, make([]uint64, bitvec.EncodedWords(cfg.ReadLen)))
+			st.encWords = append(st.encWords, make([]uint64, bitvec.EncodedWords(cfg.ReadLen)))
 		}
 		e.states = append(e.states, st)
 	}
@@ -548,21 +548,21 @@ func (e *Engine) encodeChunk(st *deviceState, set *bufferSet, chunk []Pair) {
 			}
 			words := st.encWords[wk]
 			encodeInto := func(dst []byte, seq []byte) bool {
-				if len(seq) != L || dna.HasN(seq) {
-					return false
-				}
-				if err := dna.EncodeInto(words, seq); err != nil {
+				// Encoding doubles as the 'N' scan: an unrecognized base is
+				// the undefined condition, so each sequence is walked once
+				// and no error value is allocated.
+				if len(seq) != L || dna.TryEncodeInto(words, seq) >= 0 {
 					return false
 				}
 				for w, v := range words {
-					binary.LittleEndian.PutUint32(dst[w*4:], v)
+					binary.LittleEndian.PutUint64(dst[w*8:], v)
 				}
 				return true
 			}
 			for i := lo; i < hi; i++ {
 				p := chunk[i]
-				okR := encodeInto(rb[i*encWords*4:(i+1)*encWords*4], p.Read)
-				okF := encodeInto(fb[i*encWords*4:(i+1)*encWords*4], p.Ref)
+				okR := encodeInto(rb[i*encWords*8:(i+1)*encWords*8], p.Read)
+				okF := encodeInto(fb[i*encWords*8:(i+1)*encWords*8], p.Ref)
 				if okR && okF {
 					flags[i] = 0
 				} else {
@@ -577,8 +577,8 @@ func (e *Engine) encodeChunk(st *deviceState, set *bufferSet, chunk []Pair) {
 		set.readBuf.HostWrite(0, n*L)
 		set.refBuf.HostWrite(0, n*L)
 	} else {
-		set.readBuf.HostWrite(0, n*encWords*4)
-		set.refBuf.HostWrite(0, n*encWords*4)
+		set.readBuf.HostWrite(0, n*encWords*8)
+		set.refBuf.HostWrite(0, n*encWords*8)
 	}
 	set.flagBuf.HostWrite(0, n)
 }
@@ -623,11 +623,11 @@ func (e *Engine) launchDecode(st *deviceState, set *bufferSet, n, errThreshold i
 			}
 		} else {
 			rw, fw := st.readWords[worker], st.refWords[worker]
-			rb := set.readBuf.Bytes()[tid*encWords*4:]
-			fb := set.refBuf.Bytes()[tid*encWords*4:]
+			rb := set.readBuf.Bytes()[tid*encWords*8:]
+			fb := set.refBuf.Bytes()[tid*encWords*8:]
 			for w := 0; w < encWords; w++ {
-				rw[w] = binary.LittleEndian.Uint32(rb[w*4:])
-				fw[w] = binary.LittleEndian.Uint32(fb[w*4:])
+				rw[w] = binary.LittleEndian.Uint64(rb[w*8:])
+				fw[w] = binary.LittleEndian.Uint64(fb[w*8:])
 			}
 			est, accept := st.kernels[worker].FilterEncoded(rw, fw, errThreshold)
 			r = Result{Accept: accept, Estimate: uint16(est)}

@@ -150,7 +150,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Result is one filtration outcome in the result buffer.
+// Result is one filtration outcome in the result buffer. Estimate follows
+// the kernel's hot-path semantics: for accepted pairs it is the sealed
+// early-accept upper bound (<= the threshold), not the exhaustive windowed
+// count — the engine consumes only the decision, as the paper's pipeline
+// does.
 type Result struct {
 	Accept    bool
 	Undefined bool

@@ -53,7 +53,7 @@ func (e *Engine) SetReference(seq []byte) error {
 	e.clearReference()
 
 	words := bitvec.EncodedWords(len(seq))
-	encoded := make([]uint32, words)
+	encoded := make([]uint64, words)
 	var nMu sync.Mutex
 	var nPositions []int32
 
@@ -76,7 +76,7 @@ func (e *Engine) SetReference(seq []byte) error {
 			defer wg.Done()
 			var local []int32
 			for wi := lo; wi < hi; wi++ {
-				var word uint32
+				var word uint64
 				base := wi * dna.BasesPerWord
 				for b := 0; b < dna.BasesPerWord && base+b < len(seq); b++ {
 					code, ok := dna.Code(seq[base+b])
@@ -84,7 +84,7 @@ func (e *Engine) SetReference(seq []byte) error {
 						local = append(local, int32(base+b))
 						continue
 					}
-					word |= uint32(code) << uint(2*b)
+					word |= uint64(code) << uint(2*b)
 				}
 				encoded[wi] = word
 			}
@@ -100,14 +100,14 @@ func (e *Engine) SetReference(seq []byte) error {
 
 	ref := &reference{length: len(seq), nPositions: nPositions}
 	for _, st := range e.states {
-		buf, err := st.dev.AllocUnified(words * 4)
+		buf, err := st.dev.AllocUnified(words * 8)
 		if err != nil {
 			ref.free()
 			return fmt.Errorf("gkgpu: reference buffer: %w", err)
 		}
 		raw := buf.Bytes()
 		for i, v := range encoded {
-			binary.LittleEndian.PutUint32(raw[i*4:], v)
+			binary.LittleEndian.PutUint64(raw[i*8:], v)
 		}
 		buf.HostWrite(0, len(raw))
 		buf.Advise(cuda.AdviseReadMostly)
@@ -176,7 +176,7 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 	// Encode every read once ("it is sufficient to copy a single read only
 	// once to GPU memory for its multiple candidate reference segments").
 	encWords := bitvec.EncodedWords(L)
-	readWords := make([]uint32, len(reads)*encWords)
+	readWords := make([]uint64, len(reads)*encWords)
 	readHasN := make([]bool, len(reads))
 	for i, r := range reads {
 		if dna.HasN(r) {
@@ -333,12 +333,12 @@ func (e *Engine) encodeCandidateChunk(st *deviceState, set *bufferSet, items []S
 				// errors) and 'N'-touched candidates both flag undefined:
 				// the former defensively, the latter by design.
 				if len(c.Read) != L || c.Pos < 0 || int(c.Pos)+L > ref.length ||
-					ref.windowHasN(c.Pos, int32(L)) || dna.EncodeInto(words, c.Read) != nil {
+					ref.windowHasN(c.Pos, int32(L)) || dna.TryEncodeInto(words, c.Read) >= 0 {
 					flags[i] = 1
 					continue
 				}
 				for w, v := range words {
-					binary.LittleEndian.PutUint32(rb[(i*encWords+w)*4:], v)
+					binary.LittleEndian.PutUint64(rb[(i*encWords+w)*8:], v)
 				}
 				flags[i] = 0
 			}
@@ -346,7 +346,7 @@ func (e *Engine) encodeCandidateChunk(st *deviceState, set *bufferSet, items []S
 	}
 	wg.Wait()
 
-	set.readBuf.HostWrite(0, n*encWords*4)
+	set.readBuf.HostWrite(0, n*encWords*8)
 	set.flagBuf.HostWrite(0, n)
 	set.readBuf.PrefetchAsync(set.streams[0])
 	set.flagBuf.PrefetchAsync(set.streams[2])
@@ -384,9 +384,9 @@ func (e *Engine) launchCandidateBatch(st *deviceState, devIdx int, set *bufferSe
 			return
 		}
 		rw := st.readWords[worker]
-		base := tid * encWords * 4
+		base := tid * encWords * 8
 		for w := 0; w < encWords; w++ {
-			rw[w] = binary.LittleEndian.Uint32(rb[base+w*4:])
+			rw[w] = binary.LittleEndian.Uint64(rb[base+w*8:])
 		}
 		fw := st.refWords[worker]
 		extractFromRaw(fw, refRaw, int(items[tid].Pos), L)
@@ -397,7 +397,7 @@ func (e *Engine) launchCandidateBatch(st *deviceState, devIdx int, set *bufferSe
 
 // runCandidateBatch executes one device's share of an index-named round.
 func (e *Engine) runCandidateBatch(st *deviceState, devIdx int, chunk []Candidate,
-	readWords []uint32, readHasN []bool, errThreshold int, out []Result) error {
+	readWords []uint64, readHasN []bool, errThreshold int, out []Result) error {
 
 	n := len(chunk)
 	if n == 0 {
@@ -431,22 +431,22 @@ func (e *Engine) runCandidateBatch(st *deviceState, devIdx int, chunk []Candidat
 
 // extractFromRaw is bitvec.ExtractChars reading directly from the little-
 // endian byte image of the encoded reference in unified memory.
-func extractFromRaw(dst []uint32, raw []byte, start, n int) {
+func extractFromRaw(dst []uint64, raw []byte, start, n int) {
 	wordOff := start / dna.BasesPerWord
 	bitOff := uint(start%dna.BasesPerWord) * 2
 	outWords := bitvec.EncodedWords(n)
-	totalWords := len(raw) / 4
+	totalWords := len(raw) / 8
 	for i := 0; i < outWords; i++ {
-		var w uint32
+		var w uint64
 		if j := wordOff + i; j < totalWords {
-			w = binary.LittleEndian.Uint32(raw[j*4:]) >> bitOff
+			w = binary.LittleEndian.Uint64(raw[j*8:]) >> bitOff
 			if bitOff != 0 && j+1 < totalWords {
-				w |= binary.LittleEndian.Uint32(raw[(j+1)*4:]) << (32 - bitOff)
+				w |= binary.LittleEndian.Uint64(raw[(j+1)*8:]) << (64 - bitOff)
 			}
 		}
 		dst[i] = w
 	}
 	if rem := n % dna.BasesPerWord; rem != 0 {
-		dst[outWords-1] &= (uint32(1) << uint(2*rem)) - 1
+		dst[outWords-1] &= (uint64(1) << uint(2*rem)) - 1
 	}
 }

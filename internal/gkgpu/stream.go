@@ -161,6 +161,26 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 	dispatch := make(chan *streamBatch[T])
 	completed := make(chan *streamBatch[T], bufferSets*nDev+1)
 
+	// Batches recycle through a pool: in-flight count is bounded (two per
+	// device plus the one being filled), so after warm-up the steady-state
+	// stream allocates no batch structs, item slices, or result slices —
+	// the dispatcher appends into a recycled items buffer and the collector
+	// returns each batch once its results have been emitted and tallied.
+	var pool sync.Pool
+	newBatch := func() *streamBatch[T] {
+		if b, ok := pool.Get().(*streamBatch[T]); ok {
+			b.items = b.items[:0]
+			b.err = nil
+			return b
+		}
+		return &streamBatch[T]{items: make([]T, 0, batchCap)}
+	}
+	recycle := func(b *streamBatch[T]) {
+		clear(b.items) // drop references so recycling never retains sequences
+		b.items = b.items[:0]
+		pool.Put(b)
+	}
+
 	var workers sync.WaitGroup
 	for di, st := range e.states {
 		workers.Add(1)
@@ -204,6 +224,7 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 					close(aborted)
 				}
 				if failed {
+					recycle(nb)
 					continue
 				}
 				// Clocks, decisions, and device telemetry tally here, in
@@ -217,19 +238,19 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 				tally.decisions.countDecisions(nb.res)
 				tally.records = append(tally.records, kernelRecord{
 					dev: e.states[nb.devIdx].dev, kt: nb.kernelSec, util: nb.util})
-				if canceled {
-					continue
-				}
-				for _, r := range nb.res {
-					select {
-					case out <- r:
-					case <-ctx.Done():
-						canceled = true
+				if !canceled {
+					for _, r := range nb.res {
+						select {
+						case out <- r:
+						case <-ctx.Done():
+							canceled = true
+						}
+						if canceled {
+							break
+						}
 					}
-					if canceled {
-						break
-					}
 				}
+				recycle(nb)
 			}
 		}
 		tallyCh <- tally
@@ -239,19 +260,27 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 	// batch is awaited indefinitely; once a batch is open it fills until
 	// full or until the linger window elapses, so a saturated stream ships
 	// whole batches while a sparse one still flushes with bounded latency.
+	// Batches come from the recycling pool, so steady-state dispatch
+	// performs no allocation.
 	seq := 0
-	var batch []T
+	var batch *streamBatch[T]
 	linger := time.NewTimer(streamLinger)
 	if !linger.Stop() {
 		<-linger.C
 	}
 	flush := func() bool {
-		if len(batch) == 0 {
+		if batch == nil || len(batch.items) == 0 {
 			return true
 		}
-		b := &streamBatch[T]{seq: seq, items: batch, res: make([]Result, len(batch))}
-		seq++
+		b := batch
 		batch = nil
+		b.seq = seq
+		seq++
+		if cap(b.res) < len(b.items) {
+			b.res = make([]Result, len(b.items))
+		} else {
+			b.res = b.res[:len(b.items)]
+		}
 		select {
 		case dispatch <- b:
 			return true
@@ -268,7 +297,10 @@ receive:
 			if !ok {
 				break receive
 			}
-			batch = append(batch, p)
+			if batch == nil {
+				batch = newBatch()
+			}
+			batch.items = append(batch.items, p)
 		case <-ctx.Done():
 			break receive
 		case <-aborted:
@@ -276,7 +308,7 @@ receive:
 		}
 		linger.Reset(streamLinger)
 	drain:
-		for len(batch) < batchCap {
+		for len(batch.items) < batchCap {
 			select {
 			case p, ok := <-in:
 				if !ok {
@@ -285,7 +317,7 @@ receive:
 					}
 					break receive
 				}
-				batch = append(batch, p)
+				batch.items = append(batch.items, p)
 			case <-ctx.Done():
 				if !linger.Stop() {
 					<-linger.C
@@ -295,7 +327,7 @@ receive:
 				break drain
 			}
 		}
-		if len(batch) >= batchCap {
+		if len(batch.items) >= batchCap {
 			if !linger.Stop() {
 				<-linger.C
 			}

@@ -36,16 +36,18 @@ func Configure(spec cuda.DeviceSpec, readLen, maxE int, encoding EncodingActor,
 	encWords := bitvec.EncodedWords(readLen)
 	maskWords := bitvec.MaskWords(readLen)
 
-	// Stack frame: four encoded-domain temporaries plus seven mask-domain
-	// buffers (final, current, amended, three amendment scratches, and the
-	// collapse target), mirroring filter.Kernel's allocation.
-	threadLoad := 4*encWords*4 + 7*maskWords*4
+	// Stack frame: two encoded-domain buffers (the raw-byte path's encode
+	// targets) plus the accumulated final mask, mirroring filter.Kernel's
+	// allocation — the fused pipeline carries the per-mask intermediate
+	// state in registers, so the old shift/XOR/amendment scratch slices are
+	// gone (64-bit words, 8 bytes each).
+	threadLoad := 2*encWords*8 + maskWords*8
 
 	var perPair int
 	if encoding == EncodeOnDevice {
 		perPair = 2*readLen + 2 + resultStride // raw read+ref, flags, result
 	} else {
-		perPair = 2*encWords*4 + 2 + resultStride // packed read+ref, flags, result
+		perPair = 2*encWords*8 + 2 + resultStride // packed read+ref, flags, result
 	}
 	threadLoad += perPair
 

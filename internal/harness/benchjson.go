@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dna"
+	"repro/internal/filter"
+	"repro/internal/mapper"
+	"repro/internal/ref32"
+	"repro/internal/simdata"
+)
+
+// BenchEntry is one micro-benchmark row of a machine-readable baseline.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	PairsPerSec float64 `json:"pairs_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the schema of a BENCH_<stamp>.json perf baseline: enough
+// to compare kernels, filters, and the seed index across PRs without
+// re-running the old code.
+type BenchReport struct {
+	Stamp     string `json:"stamp"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	// Kernels are single-pair filtration paths: the fused 64-bit kernel
+	// (several geometries, pre-encoded and raw-byte) and the retained
+	// 32-bit unfused chain (internal/ref32), whose ratio against the fused
+	// kernel is the PR's claimed speedup, reproducible from the repo alone.
+	Kernels []BenchEntry `json:"kernels"`
+	// Filters are whole-Filter pairs/s for every implemented filter on one
+	// standard dataset (set1, e=5), the Figure 5 hot loop.
+	Filters []BenchEntry `json:"filters"`
+	// Index covers the CSR seed index: build and lookup.
+	Index []BenchEntry `json:"index"`
+}
+
+// benchPairsPerSec converts a benchmark over `pairs` pairs per op into a rate.
+func benchPairsPerSec(r testing.BenchmarkResult, pairs int) float64 {
+	if r.T <= 0 {
+		return 0
+	}
+	return float64(pairs) * float64(r.N) / r.T.Seconds()
+}
+
+func entry(name string, r testing.BenchmarkResult, pairs int) BenchEntry {
+	e := BenchEntry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if pairs > 0 {
+		e.PairsPerSec = benchPairsPerSec(r, pairs)
+	}
+	return e
+}
+
+// RunBenchJSON runs the kernel/filter/index micro-benchmark suite and
+// writes a BENCH_<stamp>.json baseline into dir (default "."), returning
+// the path. It is the machinery behind `gkbench -json`; each measurement
+// uses the testing package's benchmark runner, so rows are directly
+// comparable with `go test -bench` output.
+func RunBenchJSON(dir, label string, out io.Writer) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	rep := BenchReport{
+		Stamp:     time.Now().UTC().Format("20060102T150405Z"),
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	// Kernel suite: the Figure 4/7 hot loop on generated dataset pairs.
+	type geom struct {
+		name string
+		set  string
+		L, e int
+	}
+	for _, g := range []geom{
+		{"fused-L100-e5", "set3", 100, 5},
+		{"fused-L250-e10", "set11", 250, 10},
+	} {
+		p, err := simdata.Set(g.set)
+		if err != nil {
+			return "", err
+		}
+		all := simdata.ToEnginePairs(simdata.Generate(p, 42, 1000))
+		// Drop undefined ('N') pairs so both kernels run the same defined
+		// workload: the fused kernel shortcuts them, the reference panics.
+		pairs := all[:0]
+		for _, pr := range all {
+			if !dna.HasN(pr.Read) && !dna.HasN(pr.Ref) {
+				pairs = append(pairs, pr)
+			}
+		}
+		kern := filter.NewKernel(filter.ModeGPU, g.L, g.e)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, pr := range pairs {
+					kern.Filter(pr.Read, pr.Ref, g.e)
+				}
+			}
+		})
+		rep.Kernels = append(rep.Kernels, entry("kernel-"+g.name, r, len(pairs)))
+
+		// The retained 32-bit unfused chain on the same pairs: the in-repo
+		// pre-optimization reference.
+		r32 := ref32.NewKernel(true, g.L)
+		rr := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, pr := range pairs {
+					r32.Filter(pr.Read, pr.Ref, g.e)
+				}
+			}
+		})
+		rep.Kernels = append(rep.Kernels, entry("kernel-ref32-"+g.name[6:], rr, len(pairs)))
+	}
+
+	// Pre-encoded path (what the engine's launch stage runs).
+	{
+		p, err := simdata.Set("set3")
+		if err != nil {
+			return "", err
+		}
+		pairs := simdata.ToEnginePairs(simdata.Generate(p, 42, 1000))
+		type encPair struct{ read, ref []uint64 }
+		enc := make([]encPair, 0, len(pairs))
+		for _, pr := range pairs {
+			re, err1 := dna.Encode(pr.Read)
+			fe, err2 := dna.Encode(pr.Ref)
+			if err1 != nil || err2 != nil {
+				continue // undefined pairs bypass the encoded path
+			}
+			enc = append(enc, encPair{re, fe})
+		}
+		kern := filter.NewKernel(filter.ModeGPU, 100, 5)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, pr := range enc {
+					kern.FilterEncoded(pr.read, pr.ref, 5)
+				}
+			}
+		})
+		rep.Kernels = append(rep.Kernels, entry("kernel-fused-encoded-L100-e5", r, len(enc)))
+	}
+
+	// Per-filter pairs/s, Figure 5's loop on set1.
+	{
+		p, err := simdata.Set("set1")
+		if err != nil {
+			return "", err
+		}
+		pairs := simdata.ToEnginePairs(simdata.Generate(p, 42, 300))
+		for _, f := range filter.All() {
+			f := f
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, pr := range pairs {
+						f.Filter(pr.Read, pr.Ref, 5)
+					}
+				}
+			})
+			rep.Filters = append(rep.Filters, entry(f.Name(), r, len(pairs)))
+		}
+	}
+
+	// CSR index: build rate and lookup latency.
+	{
+		rng := rand.New(rand.NewSource(42))
+		ref := dna.RandomSeq(rng, 500_000)
+		rb := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.NewIndex(ref, mapper.DefaultSeedLen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Index = append(rep.Index, entry("index-build-500k", rb, 0))
+
+		idx, err := mapper.NewIndex(ref, mapper.DefaultSeedLen)
+		if err != nil {
+			return "", err
+		}
+		seeds := make([][]byte, 1024)
+		for i := range seeds {
+			p := rng.Intn(len(ref) - mapper.DefaultSeedLen)
+			seeds[i] = ref[p : p+mapper.DefaultSeedLen]
+		}
+		var sink int
+		rl := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += len(idx.Lookup(seeds[i&1023]))
+			}
+		})
+		_ = sink
+		rep.Index = append(rep.Index, entry("index-lookup", rl, 0))
+	}
+
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, rep.Stamp)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if out != nil {
+		fmt.Fprintf(out, "wrote %s\n", path)
+		for _, e := range rep.Kernels {
+			fmt.Fprintf(out, "  %-32s %12.0f ns/op %12.0f pairs/s %4d allocs/op\n",
+				e.Name, e.NsPerOp, e.PairsPerSec, e.AllocsPerOp)
+		}
+		for _, e := range rep.Index {
+			fmt.Fprintf(out, "  %-32s %12.0f ns/op %4d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+		}
+	}
+	return path, nil
+}

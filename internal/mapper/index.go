@@ -27,23 +27,42 @@ package mapper
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"repro/internal/dna"
 )
 
-// Index is a k-mer hash index over a reference sequence. Every position of
-// the reference whose k-window is fully defined (no 'N') is indexed.
+// Index is a k-mer index over a reference sequence in CSR (compressed
+// sparse row) form: one flat positions array grouped by k-mer, addressed
+// through a bucket-offset array. Every position of the reference whose
+// k-window is fully defined (no 'N') is indexed.
+//
+// The layout replaces the seed implementation's map[uint32][]int32: a map
+// costs a hash probe plus pointer chases per lookup and fragments millions
+// of small slices across the heap, while the CSR arrays are built once with
+// a two-pass counting sort and answer every Lookup allocation-free with at
+// most a short binary search inside one bucket. Buckets are the high bits
+// of the packed k-mer key; within a bucket entries are sorted by full key
+// (position-stable, so hit lists stay in ascending reference order exactly
+// as the map layout appended them).
 type Index struct {
-	ref  []byte
-	k    int
-	hash map[uint32][]int32
+	ref []byte
+	k   int
+
+	shift   uint     // key -> bucket: bucket = key >> shift
+	offsets []uint32 // len nBuckets+1; bucket b spans keys/pos[offsets[b]:offsets[b+1]]
+	keys    []uint32 // full k-mer key per indexed position, bucket-grouped, sorted within bucket
+	pos     []int32  // reference position per indexed position, same order as keys
+
+	distinct int // number of distinct indexed k-mers
 }
 
 // DefaultSeedLen is the default k-mer length, in mrFAST's 12-14 range.
 const DefaultSeedLen = 13
 
 // NewIndex builds the index. k must be in [8, 16] so a seed packs into one
-// 32-bit word.
+// 32-bit key.
 func NewIndex(ref []byte, k int) (*Index, error) {
 	if k < 8 || k > 16 {
 		return nil, fmt.Errorf("mapper: seed length %d outside [8,16]", k)
@@ -51,10 +70,78 @@ func NewIndex(ref []byte, k int) (*Index, error) {
 	if len(ref) < k {
 		return nil, fmt.Errorf("mapper: reference (%d) shorter than seed (%d)", len(ref), k)
 	}
-	idx := &Index{ref: ref, k: k, hash: make(map[uint32][]int32, len(ref))}
+
+	// Pass 0: roll the 2-bit hash across the reference once to count
+	// indexable windows (those with k defined bases).
+	n := 0
+	valid := 0
+	for _, b := range ref {
+		if !dna.IsACGT(b) {
+			valid = 0
+			continue
+		}
+		valid++
+		if valid >= k {
+			n++
+		}
+	}
+
+	// Bucket geometry: use the full 2k key bits when small enough,
+	// otherwise enough high bits for ~2x the entry count (about half an
+	// entry per bucket), capped so the offsets array stays proportional to
+	// the reference rather than to 4^k.
+	bbits := 2 * k
+	if lim := bits.Len(uint(n)) + 1; bbits > lim {
+		bbits = lim
+	}
+	if bbits > 26 {
+		bbits = 26
+	}
+	if bbits < 1 {
+		bbits = 1
+	}
+	shift := uint(2*k - bbits)
+	nBuckets := 1 << uint(bbits)
+
+	idx := &Index{
+		ref:     ref,
+		k:       k,
+		shift:   shift,
+		offsets: make([]uint32, nBuckets+1),
+		keys:    make([]uint32, n),
+		pos:     make([]int32, n),
+	}
+
+	// Pass 1: count entries per bucket.
+	counts := idx.offsets[1:] // alias: counts[b] accumulates bucket b's size
 	var key uint32
 	mask := uint32(1)<<(2*k) - 1
-	valid := 0 // defined bases in the current window
+	valid = 0
+	for _, b := range ref {
+		code, ok := dna.Code(b)
+		if !ok {
+			valid = 0
+			key = 0
+			continue
+		}
+		key = (key<<2 | uint32(code)) & mask
+		valid++
+		if valid >= k {
+			counts[key>>shift]++
+		}
+	}
+	// Prefix-sum the counts into bucket offsets (offsets[0] is already 0).
+	for b := 1; b < nBuckets; b++ {
+		counts[b] += counts[b-1]
+	}
+
+	// Pass 2: place (key, pos) into its bucket. cursor[b] starts at the
+	// bucket's base offset; scanning the reference left to right keeps each
+	// bucket's entries in ascending position order.
+	cursor := make([]uint32, nBuckets)
+	copy(cursor, idx.offsets[:nBuckets])
+	key = 0
+	valid = 0
 	for i, b := range ref {
 		code, ok := dna.Code(b)
 		if !ok {
@@ -65,11 +152,67 @@ func NewIndex(ref []byte, k int) (*Index, error) {
 		key = (key<<2 | uint32(code)) & mask
 		valid++
 		if valid >= k {
-			pos := int32(i - k + 1)
-			idx.hash[key] = append(idx.hash[key], pos)
+			bk := key >> shift
+			c := cursor[bk]
+			idx.keys[c] = key
+			idx.pos[c] = int32(i - k + 1)
+			cursor[bk] = c + 1
+		}
+	}
+
+	// Sort each bucket by full key, stably, so equal keys keep ascending
+	// positions. When shift is 0 every bucket holds exactly one key and the
+	// sort is a no-op.
+	if shift != 0 {
+		for b := 0; b < nBuckets; b++ {
+			lo, hi := idx.offsets[b], idx.offsets[b+1]
+			if hi-lo > 1 {
+				sortBucket(idx.keys[lo:hi], idx.pos[lo:hi])
+			}
+		}
+	}
+
+	// Count distinct k-mers (diagnostics), one linear scan: equal keys are
+	// contiguous (equal value implies equal bucket, and buckets are sorted).
+	for i := range idx.keys {
+		if i == 0 || idx.keys[i] != idx.keys[i-1] {
+			idx.distinct++
 		}
 	}
 	return idx, nil
+}
+
+// sortBucket stable-sorts a bucket's parallel key/pos arrays by key.
+// Buckets average under one entry, so a binary insertion sort wins in the
+// common case; a low-complexity reference (a long poly-A run, say) can
+// still pile one bucket high with interleaved keys, where insertion's
+// quadratic element moves would dominate the build — those buckets fall
+// back to the general stable sort. Both keep equal keys in their original
+// (ascending-position) order.
+func sortBucket(keys []uint32, pos []int32) {
+	if len(keys) > 64 {
+		type kp struct {
+			key uint32
+			pos int32
+		}
+		tmp := make([]kp, len(keys))
+		for i := range keys {
+			tmp[i] = kp{keys[i], pos[i]}
+		}
+		sort.SliceStable(tmp, func(a, b int) bool { return tmp[a].key < tmp[b].key })
+		for i := range tmp {
+			keys[i], pos[i] = tmp[i].key, tmp[i].pos
+		}
+		return
+	}
+	for i := 1; i < len(keys); i++ {
+		k, p := keys[i], pos[i]
+		lo := sort.Search(i, func(j int) bool { return keys[j] > k })
+		copy(keys[lo+1:i+1], keys[lo:i])
+		copy(pos[lo+1:i+1], pos[lo:i])
+		keys[lo] = k
+		pos[lo] = p
+	}
 }
 
 // K returns the seed length.
@@ -79,7 +222,9 @@ func (x *Index) K() int { return x.k }
 func (x *Index) Ref() []byte { return x.ref }
 
 // Lookup returns the reference positions whose k-window equals seed, or nil
-// when the seed contains an undefined base or has no hits.
+// when the seed contains an undefined base or has no hits. The returned
+// slice is a view into the index's positions array — ascending, read-only,
+// and produced without allocating.
 func (x *Index) Lookup(seed []byte) []int32 {
 	if len(seed) != x.k {
 		return nil
@@ -92,8 +237,38 @@ func (x *Index) Lookup(seed []byte) []int32 {
 		}
 		key = key<<2 | uint32(code)
 	}
-	return x.hash[key]
+	bucket := key >> x.shift
+	lo := int(x.offsets[bucket])
+	hi := int(x.offsets[bucket+1])
+	keys := x.keys
+	// Equal range of key inside its (key-sorted) bucket; hand-rolled binary
+	// searches keep the hot path free of closure allocations.
+	first, j := lo, hi
+	for first < j {
+		m := int(uint(first+j) >> 1)
+		if keys[m] < key {
+			first = m + 1
+		} else {
+			j = m
+		}
+	}
+	if first == hi || keys[first] != key {
+		return nil
+	}
+	last, j := first+1, hi
+	for last < j {
+		m := int(uint(last+j) >> 1)
+		if keys[m] <= key {
+			last = m + 1
+		} else {
+			j = m
+		}
+	}
+	return x.pos[first:last]
 }
 
 // DistinctKmers returns the number of distinct indexed k-mers (diagnostics).
-func (x *Index) DistinctKmers() int { return len(x.hash) }
+func (x *Index) DistinctKmers() int { return x.distinct }
+
+// Entries returns the total number of indexed positions (diagnostics).
+func (x *Index) Entries() int { return len(x.pos) }

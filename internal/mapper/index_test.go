@@ -1,0 +1,230 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// mapOracle is the seed implementation's map layout, kept as the oracle the
+// CSR index must reproduce hit for hit.
+func mapOracle(ref []byte, k int) map[uint32][]int32 {
+	oracle := make(map[uint32][]int32)
+	var key uint32
+	mask := uint32(1)<<(2*k) - 1
+	valid := 0
+	for i, b := range ref {
+		code, ok := dna.Code(b)
+		if !ok {
+			valid = 0
+			key = 0
+			continue
+		}
+		key = (key<<2 | uint32(code)) & mask
+		valid++
+		if valid >= k {
+			oracle[key] = append(oracle[key], int32(i-k+1))
+		}
+	}
+	return oracle
+}
+
+// randomRefWithNs builds a reference with occasional 'N' runs so the
+// undefined-window skipping is exercised.
+func randomRefWithNs(rng *rand.Rand, n int, nRate float64) []byte {
+	ref := dna.RandomSeq(rng, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < nRate {
+			run := 1 + rng.Intn(4)
+			for j := i; j < i+run && j < n; j++ {
+				ref[j] = 'N'
+			}
+			i += run
+		}
+	}
+	return ref
+}
+
+// TestIndexMatchesMapOracle holds the CSR layout to the map semantics:
+// every indexed k-mer returns exactly the oracle's hit list, in the same
+// (ascending) order, across seed lengths and 'N' densities.
+func TestIndexMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{8, 11, 13, 16} {
+		for _, cfg := range []struct {
+			n     int
+			nRate float64
+		}{{200, 0}, {5000, 0}, {5000, 0.01}, {20000, 0.002}} {
+			ref := randomRefWithNs(rng, cfg.n, cfg.nRate)
+			idx, err := NewIndex(ref, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := mapOracle(ref, k)
+			if idx.DistinctKmers() != len(oracle) {
+				t.Fatalf("k=%d n=%d: distinct %d, oracle %d", k, cfg.n, idx.DistinctKmers(), len(oracle))
+			}
+			total := 0
+			for _, hits := range oracle {
+				total += len(hits)
+			}
+			if idx.Entries() != total {
+				t.Fatalf("k=%d n=%d: entries %d, oracle %d", k, cfg.n, idx.Entries(), total)
+			}
+			// Query every window of the reference (including undefined ones)
+			// plus random probes that likely miss.
+			for i := 0; i+k <= len(ref); i++ {
+				seed := ref[i : i+k]
+				got := idx.Lookup(seed)
+				if dna.HasN(seed) {
+					if got != nil {
+						t.Fatalf("k=%d: N-seed %q returned %d hits", k, seed, len(got))
+					}
+					continue
+				}
+				key := packKey(seed)
+				want := oracle[key]
+				if len(got) != len(want) {
+					t.Fatalf("k=%d seed %q: %d hits, want %d", k, seed, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("k=%d seed %q: hit[%d]=%d, want %d", k, seed, j, got[j], want[j])
+					}
+				}
+			}
+			for probe := 0; probe < 200; probe++ {
+				seed := dna.RandomSeq(rng, k)
+				got := idx.Lookup(seed)
+				want := oracle[packKey(seed)]
+				if len(got) != len(want) {
+					t.Fatalf("k=%d random seed %q: %d hits, want %d", k, seed, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func packKey(seed []byte) uint32 {
+	var key uint32
+	for _, b := range seed {
+		code, _ := dna.Code(b)
+		key = key<<2 | uint32(code)
+	}
+	return key
+}
+
+// TestIndexLowComplexityReference drives the skewed-bucket path: a
+// two-letter, heavily biased reference shares key prefixes so aggressively
+// that single buckets exceed the insertion-sort threshold, exercising the
+// stable-sort fallback while the oracle pins correctness (hit lists must
+// stay position-ascending per key).
+func TestIndexLowComplexityReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := make([]byte, 30_000)
+	for i := range ref {
+		if rng.Float64() < 0.9 {
+			ref[i] = 'A'
+		} else {
+			ref[i] = 'C'
+		}
+	}
+	for _, k := range []int{13, 16} {
+		idx, err := NewIndex(ref, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := mapOracle(ref, k)
+		if idx.DistinctKmers() != len(oracle) {
+			t.Fatalf("k=%d: distinct %d, oracle %d", k, idx.DistinctKmers(), len(oracle))
+		}
+		for i := 0; i+k <= len(ref); i += 7 {
+			seed := ref[i : i+k]
+			got := idx.Lookup(seed)
+			want := oracle[packKey(seed)]
+			if len(got) != len(want) {
+				t.Fatalf("k=%d seed@%d: %d hits, want %d", k, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("k=%d seed@%d hit[%d]=%d, want %d (order must be position-ascending)",
+						k, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestIndexLookupWrongLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := dna.RandomSeq(rng, 1000)
+	idx, err := NewIndex(ref, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Lookup(ref[:12]) != nil {
+		t.Fatal("short seed returned hits")
+	}
+	if idx.Lookup(ref[:14]) != nil {
+		t.Fatal("long seed returned hits")
+	}
+}
+
+// TestIndexLookupZeroAllocs is the CSR hot-path guard: a Lookup, hit or
+// miss, must not allocate.
+func TestIndexLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	rng := rand.New(rand.NewSource(3))
+	ref := dna.RandomSeq(rng, 100_000)
+	idx, err := NewIndex(ref, DefaultSeedLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := ref[500 : 500+DefaultSeedLen]
+	miss := dna.RandomSeq(rng, DefaultSeedLen)
+	var sink []int32
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sink = idx.Lookup(hit)
+		sink = idx.Lookup(miss)
+	}); allocs != 0 {
+		t.Fatalf("Index.Lookup allocated %.1f allocs/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	ref := dna.RandomSeq(rng, 500_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewIndex(ref, DefaultSeedLen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ref := dna.RandomSeq(rng, 500_000)
+	idx, err := NewIndex(ref, DefaultSeedLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Query seeds drawn from the reference so most lookups hit.
+	seeds := make([][]byte, 1024)
+	for i := range seeds {
+		p := rng.Intn(len(ref) - DefaultSeedLen)
+		seeds[i] = ref[p : p+DefaultSeedLen]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total += len(idx.Lookup(seeds[i&1023]))
+	}
+	_ = total
+}

@@ -1,0 +1,412 @@
+// Package ref32 preserves the original 32-bit-word GateKeeper pipeline —
+// the 2-bit codec (16 bases per 32-bit word), the carry-transfer bitvector
+// operations, and the unfused six-pass filtration chain — exactly as the
+// reproduction implemented it before the 64-bit fused kernel replaced it in
+// the hot path.
+//
+// It exists for two reasons. First, as the differential reference model:
+// the property and fuzz tests in internal/filter run every pair through
+// both pipelines and require bit-identical decisions, so any carry-transfer
+// or fusion bug in the 64-bit kernel is caught against this retained
+// implementation rather than only against the per-character oracle. Second,
+// as the measured pre-optimization baseline: the kernel benchmarks time
+// this chain next to the fused kernel, which keeps the claimed speedup
+// reproducible from the repository alone.
+//
+// Nothing here is a hot path; clarity and fidelity to the replaced code win
+// over speed.
+package ref32
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BasesPerWord is the number of 2-bit encoded bases per 32-bit word ("a
+// 16-character window is encoded into an unsigned integer").
+const BasesPerWord = 16
+
+// CharsPerMaskWord is the number of bases per 32-bit mask word.
+const CharsPerMaskWord = 32
+
+// EncodedWords returns the number of encoded words for n bases.
+func EncodedWords(n int) int { return (n + BasesPerWord - 1) / BasesPerWord }
+
+// MaskWords returns the number of mask words for n bases.
+func MaskWords(n int) int { return (n + CharsPerMaskWord - 1) / CharsPerMaskWord }
+
+// codeTable maps an ASCII byte to its 2-bit code, or 0xFF for anything
+// unrecognized — identical to the dna package's table.
+var codeTable [256]byte
+
+func init() {
+	for i := range codeTable {
+		codeTable[i] = 0xFF
+	}
+	for code, b := range [4]byte{'A', 'C', 'G', 'T'} {
+		codeTable[b] = byte(code)
+		codeTable[b+'a'-'A'] = byte(code)
+	}
+}
+
+// Encode packs seq into the original layout: 2-bit codes, 16 bases per
+// 32-bit word, base i at bits [2i mod 32, 2i mod 32 + 1] of word i/16.
+func Encode(seq []byte) ([]uint32, error) {
+	words := make([]uint32, EncodedWords(len(seq)))
+	for i, b := range seq {
+		c := codeTable[b]
+		if c == 0xFF {
+			return nil, fmt.Errorf("ref32: unrecognized base %q at position %d", b, i)
+		}
+		words[i/BasesPerWord] |= uint32(c) << uint((i%BasesPerWord)*2)
+	}
+	return words, nil
+}
+
+// shiftBitsUp is the original little-endian left shift with per-boundary
+// carry-bit transfers.
+func shiftBitsUp(dst, src []uint32, n uint) {
+	wordShift := int(n / 32)
+	bitShift := n % 32
+	for i := len(dst) - 1; i >= 0; i-- {
+		var w uint32
+		if j := i - wordShift; j >= 0 {
+			w = src[j] << bitShift
+			if bitShift != 0 && j-1 >= 0 {
+				w |= src[j-1] >> (32 - bitShift)
+			}
+		}
+		dst[i] = w
+	}
+}
+
+// shiftBitsDown is the original little-endian right shift with carries.
+func shiftBitsDown(dst, src []uint32, n uint) {
+	wordShift := int(n / 32)
+	bitShift := n % 32
+	for i := 0; i < len(dst); i++ {
+		var w uint32
+		if j := i + wordShift; j < len(src) {
+			w = src[j] >> bitShift
+			if bitShift != 0 && j+1 < len(src) {
+				w |= src[j+1] << (32 - bitShift)
+			}
+		}
+		dst[i] = w
+	}
+}
+
+// extractEven compresses the 16 even-indexed bits of x into the low 16 bits.
+func extractEven(x uint32) uint32 {
+	x &= 0x55555555
+	x = (x | x>>1) & 0x33333333
+	x = (x | x>>2) & 0x0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF
+	x = (x | x>>8) & 0x0000FFFF
+	return x
+}
+
+// collapse reduces an encoded-domain XOR result to a character mask.
+func collapse(dst, src []uint32) {
+	for m := range dst {
+		lo2 := 2 * m
+		var low, high uint32
+		if lo2 < len(src) {
+			w := src[lo2]
+			low = extractEven(w | w>>1)
+		}
+		if lo2+1 < len(src) {
+			w := src[lo2+1]
+			high = extractEven(w | w>>1)
+		}
+		dst[m] = low | high<<16
+	}
+}
+
+// setLeadingOnes forces the k lowest mask bits to 1 (the GPU-mode edge fix).
+func setLeadingOnes(mask []uint32, k int) {
+	for i := 0; i < len(mask) && k > 0; i++ {
+		if k >= 32 {
+			mask[i] = ^uint32(0)
+			k -= 32
+			continue
+		}
+		mask[i] |= (uint32(1) << uint(k)) - 1
+		return
+	}
+}
+
+// setTrailingOnes forces the k highest in-range bits of an n-base mask to 1.
+func setTrailingOnes(mask []uint32, n, k int) {
+	if k > n {
+		k = n
+	}
+	for pos := n - k; pos < n; {
+		w := pos / 32
+		b := uint(pos % 32)
+		remaining := n - pos
+		width := 32 - int(b)
+		if width > remaining {
+			width = remaining
+		}
+		var m uint32
+		if width >= 32 {
+			m = ^uint32(0)
+		} else {
+			m = ((uint32(1) << uint(width)) - 1) << b
+		}
+		mask[w] |= m
+		pos += width
+	}
+}
+
+// clearLeading zeroes the k lowest mask bits (the FPGA/SHD behaviour).
+func clearLeading(mask []uint32, k int) {
+	for i := 0; i < len(mask) && k > 0; i++ {
+		if k >= 32 {
+			mask[i] = 0
+			k -= 32
+			continue
+		}
+		mask[i] &^= (uint32(1) << uint(k)) - 1
+		return
+	}
+}
+
+// clearTrailing zeroes the k highest in-range bits of an n-base mask.
+func clearTrailing(mask []uint32, n, k int) {
+	if k > n {
+		k = n
+	}
+	for pos := n - k; pos < n; {
+		w := pos / 32
+		b := uint(pos % 32)
+		remaining := n - pos
+		width := 32 - int(b)
+		if width > remaining {
+			width = remaining
+		}
+		var m uint32
+		if width >= 32 {
+			m = ^uint32(0)
+		} else {
+			m = ((uint32(1) << uint(width)) - 1) << b
+		}
+		mask[w] &^= m
+		pos += width
+	}
+}
+
+// clearTail zeroes every mask bit at position >= n.
+func clearTail(mask []uint32, n int) {
+	w := n / 32
+	b := uint(n % 32)
+	if w < len(mask) && b != 0 {
+		mask[w] &= (uint32(1) << b) - 1
+		w++
+	}
+	for ; w < len(mask); w++ {
+		mask[w] = 0
+	}
+}
+
+// amend fills zero streaks of length 1-2 flanked by 1s, via the original
+// shift-and-combine passes.
+func amend(dst, src []uint32, n int, up1, dn1, dn2 []uint32) {
+	shiftBitsUp(up1, src, 1)
+	shiftBitsDown(dn1, src, 1)
+	for i := range dst {
+		dst[i] = src[i] | (up1[i] & dn1[i])
+	}
+	shiftBitsUp(up1, dst, 1)
+	shiftBitsDown(dn2, dst, 2)
+	for i := range dn1 {
+		dn1[i] = up1[i] & dn2[i]
+	}
+	shiftBitsUp(dn2, dn1, 1)
+	for i := range dst {
+		dst[i] |= dn1[i] | dn2[i]
+	}
+	clearTail(dst, n)
+}
+
+// countWindows is the original windowed-LUT error counter: non-overlapping
+// 4-bit windows, each window with any 1 costs one error.
+func countWindows(mask []uint32, n int) int {
+	total := 0
+	for pos := 0; pos < n; pos += 4 {
+		w := mask[pos/32]
+		nib := int(w>>uint(pos%32)) & 0xF
+		if width := n - pos; width < 4 {
+			nib &= (1 << uint(width)) - 1
+		}
+		if nib != 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// countRuns counts maximal 1-runs (the run-counting ablation's counter).
+func countRuns(mask []uint32, n int) int {
+	total := 0
+	var prevTop uint32
+	full := n / 32
+	for i := 0; i < full; i++ {
+		m := mask[i]
+		starts := m &^ (m<<1 | prevTop)
+		total += bits.OnesCount32(starts)
+		prevTop = m >> 31
+	}
+	if rem := uint(n % 32); rem != 0 {
+		m := mask[full] & ((uint32(1) << rem) - 1)
+		starts := m &^ (m<<1 | prevTop)
+		total += bits.OnesCount32(starts)
+	}
+	return total
+}
+
+// Kernel is the original unfused GateKeeper kernel: one fixed geometry, all
+// scratch pre-allocated, six full-array passes per mask. gpuMode selects the
+// improved edge treatment (forced 1s) over the FPGA/SHD behaviour (vacated
+// zeros). It is not safe for concurrent use.
+type Kernel struct {
+	gpuMode bool
+	readLen int
+
+	// Ablation switches mirroring filter.Ablation, so ablated variants of
+	// the fused kernel can be diffed too.
+	SkipAmendment bool
+	CountRuns     bool
+
+	encWords  int
+	maskWords int
+
+	readEnc, refEnc   []uint32
+	shifted, xorBuf   []uint32
+	charMask, amended []uint32
+	final             []uint32
+	amendUp, amendDn  []uint32
+	amendDn2          []uint32
+}
+
+// NewKernel builds a reference kernel for reads of length readLen.
+func NewKernel(gpuMode bool, readLen int) *Kernel {
+	ew := EncodedWords(readLen)
+	mw := MaskWords(readLen)
+	return &Kernel{
+		gpuMode:   gpuMode,
+		readLen:   readLen,
+		encWords:  ew,
+		maskWords: mw,
+		readEnc:   make([]uint32, ew),
+		refEnc:    make([]uint32, ew),
+		shifted:   make([]uint32, ew),
+		xorBuf:    make([]uint32, ew),
+		charMask:  make([]uint32, mw),
+		amended:   make([]uint32, mw),
+		final:     make([]uint32, mw),
+		amendUp:   make([]uint32, mw),
+		amendDn:   make([]uint32, mw),
+		amendDn2:  make([]uint32, mw),
+	}
+}
+
+// amendOrCopy applies the amendment unless ablated away.
+func (k *Kernel) amendOrCopy(dst, src []uint32, n int) {
+	if k.SkipAmendment {
+		copy(dst, src)
+		return
+	}
+	amend(dst, src, n, k.amendUp, k.amendDn, k.amendDn2)
+}
+
+// FilterEncoded runs one filtration on pre-encoded (32-bit layout)
+// sequences: the original shift → XOR → collapse → clear-tail → amend →
+// edge-force → AND chain, with the exact windowed estimate computed after
+// all 2e+1 masks.
+func (k *Kernel) FilterEncoded(readEnc, refEnc []uint32, e int) (estimate int, accept bool) {
+	L := k.readLen
+	for i := range k.xorBuf {
+		k.xorBuf[i] = readEnc[i] ^ refEnc[i]
+	}
+	collapse(k.charMask, k.xorBuf)
+	clearTail(k.charMask, L)
+
+	if e == 0 {
+		est := countWindows(k.charMask, L)
+		return est, est == 0
+	}
+
+	k.amendOrCopy(k.final, k.charMask, L)
+
+	for shift := 1; shift <= e; shift++ {
+		// Deletion mask: read shifted towards higher positions.
+		shiftBitsUp(k.shifted, readEnc, uint(2*shift))
+		for i := range k.xorBuf {
+			k.xorBuf[i] = k.shifted[i] ^ refEnc[i]
+		}
+		collapse(k.charMask, k.xorBuf)
+		clearTail(k.charMask, L)
+		k.amendOrCopy(k.amended, k.charMask, L)
+		if k.gpuMode {
+			setLeadingOnes(k.amended, shift)
+		} else {
+			clearLeading(k.amended, shift)
+		}
+		for i := range k.final {
+			k.final[i] &= k.amended[i]
+		}
+
+		// Insertion mask: read shifted towards lower positions.
+		shiftBitsDown(k.shifted, readEnc, uint(2*shift))
+		for i := range k.xorBuf {
+			k.xorBuf[i] = k.shifted[i] ^ refEnc[i]
+		}
+		collapse(k.charMask, k.xorBuf)
+		clearTail(k.charMask, L)
+		k.amendOrCopy(k.amended, k.charMask, L)
+		if k.gpuMode {
+			setTrailingOnes(k.amended, L, shift)
+		} else {
+			clearTrailing(k.amended, L, shift)
+		}
+		for i := range k.final {
+			k.final[i] &= k.amended[i]
+		}
+	}
+
+	if k.CountRuns {
+		estimate = countRuns(k.final, L)
+	} else {
+		estimate = countWindows(k.final, L)
+	}
+	return estimate, estimate <= e
+}
+
+// Filter runs one filtration on raw sequences, encoding into the kernel's
+// scratch first. Sequences must be clean (no 'N') and of the configured
+// length; it panics otherwise, as the reference model is only ever driven
+// by tests and benchmarks that guarantee both.
+func (k *Kernel) Filter(read, ref []byte, e int) (estimate int, accept bool) {
+	if len(read) != k.readLen || len(ref) != k.readLen {
+		panic(fmt.Sprintf("ref32: kernel configured for length %d, got read=%d ref=%d",
+			k.readLen, len(read), len(ref)))
+	}
+	encodeInto(k.readEnc, read)
+	encodeInto(k.refEnc, ref)
+	return k.FilterEncoded(k.readEnc, k.refEnc, e)
+}
+
+func encodeInto(words []uint32, seq []byte) {
+	for i := range words {
+		words[i] = 0
+	}
+	for i, b := range seq {
+		c := codeTable[b]
+		if c == 0xFF {
+			panic(fmt.Sprintf("ref32: unrecognized base %q at position %d", b, i))
+		}
+		words[i/BasesPerWord] |= uint32(c) << uint((i%BasesPerWord)*2)
+	}
+}
