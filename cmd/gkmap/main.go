@@ -4,8 +4,16 @@
 //
 // Inputs are FASTA (reference) and FASTQ (reads); with -sim the tool
 // synthesizes both instead, which is how the paper-scale experiments run
-// without redistributable data. File mode decodes FASTQ incrementally
-// (dna.FASTQScanner) and validates a uniform read length, R2 included.
+// without redistributable data. The reference FASTA may be multi-contig (a
+// whole genome of chromosomes): every record is loaded into one
+// mapper.Reference, reads map against all contigs with contig-relative
+// coordinates (candidates never straddle a contig boundary), the report
+// breaks mappings down per contig, and SAM output carries one @SQ line per
+// contig with each record's RNAME naming its contig. Described FASTA
+// headers (">chr1 Homo sapiens") contribute only their first word as the
+// contig name, keeping @SQ SN: and RNAME SAM-legal. File mode decodes FASTQ
+// incrementally (dna.FASTQScanner) and validates a uniform read length, R2
+// included.
 //
 // With -stream, reads map through the channel-fed streaming pipeline
 // (Mapper.MapReadStream / MapPairStream) as they are decoded — the read set
@@ -14,9 +22,10 @@
 // (synthesized FR pairs under -sim, or -reads-file plus -reads2) map
 // through the streaming pipeline and concordant pairs are resolved against
 // the insert window; when no -insert-min/-max is given the window is
-// estimated from a sample of confidently mapped pairs. -sam writes
-// single-end records, or standard paired records (flags, RNEXT/PNEXT/TLEN)
-// under -paired, with QNAMEs taken from the FASTQ input.
+// estimated from a sample of confidently mapped pairs; giving just one of
+// -insert-min/-insert-max pins that bound and estimates the other. -sam
+// writes single-end records, or standard paired records (flags,
+// RNEXT/PNEXT/TLEN) under -paired, with QNAMEs taken from the FASTQ input.
 //
 // Usage:
 //
@@ -24,7 +33,9 @@
 //	gkmap -sim -stream -reads 5000 -e 5
 //	gkmap -sim -paired -reads 2000 -insert-mean 400 -insert-std 40 -sam out.sam
 //	gkmap -ref ref.fa -reads-file reads.fq -e 3 -prefilter none -sam out.sam
-//	gkmap -ref ref.fa -reads-file r1.fq -reads2 r2.fq -paired -stream -sam out.sam
+//	gkmap -ref genome.fa -reads-file r1.fq -reads2 r2.fq -paired -stream -sam out.sam
+//
+// where genome.fa may hold any number of contigs.
 package main
 
 import (
@@ -60,28 +71,34 @@ func main() {
 		paired    = flag.Bool("paired", false, "paired-end mapping through the streaming pipeline")
 		reads2    = flag.String("reads2", "", "mate FASTQ for -paired (when not -sim)")
 		workers   = flag.Int("workers", 0, "streaming worker pools size (0 = GOMAXPROCS)")
-		insMean   = flag.Int("insert-mean", 400, "simulated mean fragment length (-paired -sim)")
-		insStd    = flag.Int("insert-std", 40, "simulated fragment length std dev (-paired -sim)")
-		insMin    = flag.Int("insert-min", 0, "insert window minimum (0 = estimate from the data)")
-		insMax    = flag.Int("insert-max", 0, "insert window maximum (0 = estimate from the data)")
+		insMean   = flag.Int("insert-mean", 400, "simulated mean fragment length (-paired -sim only; never a window default)")
+		insStd    = flag.Int("insert-std", 40, "simulated fragment length std dev (-paired -sim only; never a window default)")
+		insMin    = flag.Int("insert-min", 0, "insert window minimum (0 = estimate this bound from the data)")
+		insMax    = flag.Int("insert-max", 0, "insert window maximum (0 = estimate this bound from the data)")
 	)
 	flag.Parse()
 
 	// The input source: simulated data is materialized up front; file mode
 	// decodes FASTQ incrementally, peeking only the first record to learn
-	// the read length before the mapper is built.
-	var genome []byte
+	// the read length before the mapper is built. The reference is a
+	// mapper.Reference either way — a single simulated contig under -sim,
+	// every FASTA record otherwise.
+	var ref *mapper.Reference
 	var seqs [][]byte
 	var names []string
 	var pairs []mapper.ReadPair
 	var src1, src2 *fastqSource
-	refName := "chrSim"
 	fileMode := false
-	switch {
-	case *sim && *paired:
+	simGenome := func() []byte {
 		cfg := simdata.DefaultGenomeConfig(*genomeLen)
 		cfg.Seed = *seed
-		genome = simdata.Genome(cfg)
+		g := simdata.Genome(cfg)
+		ref = mapper.SingleContig("chrSim", g)
+		return g
+	}
+	switch {
+	case *sim && *paired:
+		genome := simGenome()
 		profile := simdata.Illumina100
 		profile.Length = *readLen
 		simPairs, err := simdata.SimulatePairs(genome, profile, *nReads, *insMean, *insStd, *seed+1)
@@ -92,9 +109,7 @@ func main() {
 			pairs = append(pairs, mapper.ReadPair{R1: p.R1.Seq, R2: p.R2.Seq})
 		}
 	case *sim:
-		cfg := simdata.DefaultGenomeConfig(*genomeLen)
-		cfg.Seed = *seed
-		genome = simdata.Genome(cfg)
+		genome := simGenome()
 		profile := simdata.Illumina100
 		profile.Length = *readLen
 		reads, err := simdata.SimulateReads(genome, profile, *nReads, *seed+1)
@@ -118,8 +133,10 @@ func main() {
 		if len(recs) == 0 {
 			fatal(fmt.Errorf("no sequences in %s", *refFile))
 		}
-		genome = recs[0].Seq
-		refName = recs[0].Name
+		ref, err = mapper.NewReference(recs)
+		if err != nil {
+			fatal(err)
+		}
 		src1, err = openFASTQ(*readsFile)
 		if err != nil {
 			fatal(err)
@@ -176,7 +193,7 @@ func main() {
 		fatal(fmt.Errorf("unknown prefilter %q", *preFilter))
 	}
 
-	m, err := mapper.New(genome, cfg)
+	m, err := mapper.NewFromReference(ref, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -185,19 +202,15 @@ func main() {
 	// channel-fed paths retain them while feeding; without it nothing is
 	// kept and the pipeline's peak memory is its in-flight work.
 	retain := *samOut != ""
-	var win mapper.InsertWindow // zero = estimate from the data
-	if *insMin > 0 || *insMax > 0 {
-		lo, hi := *insMin, *insMax
-		if lo == 0 {
-			lo = *insMean - 4**insStd
-		}
-		if lo < *readLen {
-			lo = *readLen
-		}
-		if hi == 0 {
-			hi = *insMean + 4**insStd
-		}
-		win = mapper.InsertWindow{Min: lo, Max: hi}
+	// The insert window passes straight through: a zero bound means
+	// "estimate this bound from confidently mapped pairs" (both zero
+	// estimates the whole window), so a lone -insert-min or -insert-max
+	// pins one side and never falls back to the sim-only
+	// -insert-mean/-std defaults. An inverted explicit window is rejected
+	// before any mapping work runs.
+	win := mapper.InsertWindow{Min: *insMin, Max: *insMax}
+	if *insMin > 0 && *insMax > 0 && *insMax < *insMin {
+		fatal(fmt.Errorf("-insert-min %d > -insert-max %d", *insMin, *insMax))
 	}
 
 	var mappings []mapper.Mapping
@@ -283,6 +296,28 @@ func main() {
 	fmt.Printf("undefined pairs:     %s\n", metrics.FmtInt(st.UndefinedPairs))
 	fmt.Printf("mappings:            %s\n", metrics.FmtInt(st.Mappings))
 	fmt.Printf("mapped reads:        %s\n", metrics.FmtInt(st.MappedReads))
+	if ref.NumContigs() > 1 {
+		// Per-contig breakdown: where the mappings (or resolved pairs)
+		// landed across the reference's contigs.
+		perContig := make([]int64, ref.NumContigs())
+		if *paired {
+			for _, pm := range resolved {
+				perContig[pm.Mate1.Contig] += 2 // both mates, same contig
+			}
+		} else {
+			for _, mp := range mappings {
+				perContig[mp.Contig]++
+			}
+		}
+		fmt.Printf("contigs:             %d\n", ref.NumContigs())
+		for i, c := range ref.Contigs() {
+			what := "mappings"
+			if *paired {
+				what = "mate records"
+			}
+			fmt.Printf("  %-16s len %-10d %s %s\n", c.Name, c.Len, what, metrics.FmtInt(perContig[i]))
+		}
+	}
 	fmt.Printf("seeding:             %.3fs\n", st.SeedSeconds)
 	fmt.Printf("filter (wall):       %.3fs\n", st.FilterWallSeconds)
 	fmt.Printf("filter kernel model: %.4fs\n", st.FilterKernelModel)
@@ -309,9 +344,9 @@ func main() {
 		}
 		defer fh.Close()
 		if *paired {
-			err = mapper.WritePairedSAM(fh, refName, len(genome), names, pairs, resolved)
+			err = mapper.WritePairedSAM(fh, ref, names, pairs, resolved)
 		} else {
-			err = mapper.WriteSAM(fh, refName, len(genome), names, seqs, mappings)
+			err = mapper.WriteSAM(fh, ref, names, seqs, mappings)
 		}
 		if err != nil {
 			fatal(err)

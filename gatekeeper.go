@@ -26,8 +26,11 @@
 package gatekeeper
 
 import (
+	"io"
+
 	"repro/internal/align"
 	"repro/internal/cuda"
+	"repro/internal/dna"
 	"repro/internal/filter"
 	"repro/internal/gkgpu"
 	"repro/internal/mapper"
@@ -132,14 +135,38 @@ type Mapper = mapper.Mapper
 // MapperConfig parametrizes a mapper, including its optional PreFilter.
 type MapperConfig = mapper.Config
 
-// Mapping is one reported alignment.
+// Mapping is one reported alignment, with contig-relative coordinates.
 type Mapping = mapper.Mapping
 
 // MapStats carries the whole-genome evaluation counters.
 type MapStats = mapper.Stats
 
-// NewMapper builds a mapper over a reference sequence.
+// Reference is a multi-contig reference genome: concatenated contig bases
+// plus the name/offset/length table the mapper uses to keep every candidate
+// window, concordant pair, and SAM record inside one contig.
+type Reference = mapper.Reference
+
+// Contig is one named sequence of a Reference.
+type Contig = mapper.Contig
+
+// SeqRecord is a named sequence parsed from FASTA/FASTQ input (dna.Record).
+type SeqRecord = dna.Record
+
+// NewReference builds a multi-contig Reference from FASTA records, e.g.
+// the output of ReadFASTA over a whole-genome file.
+func NewReference(recs []SeqRecord) (*Reference, error) { return mapper.NewReference(recs) }
+
+// ReadFASTA parses FASTA records (multi-contig references included) with no
+// line-length limit; headers split into id and description.
+func ReadFASTA(r io.Reader) ([]SeqRecord, error) { return dna.ReadFASTA(r) }
+
+// NewMapper builds a mapper over a flat single-contig reference sequence.
 func NewMapper(ref []byte, cfg MapperConfig) (*Mapper, error) { return mapper.New(ref, cfg) }
+
+// NewMapperFromReference builds a mapper over a multi-contig reference.
+func NewMapperFromReference(ref *Reference, cfg MapperConfig) (*Mapper, error) {
+	return mapper.NewFromReference(ref, cfg)
+}
 
 // Performance model ---------------------------------------------------------
 

@@ -270,7 +270,7 @@ func TestFormatWords(t *testing.T) {
 func TestFASTARoundTrip(t *testing.T) {
 	recs := []Record{
 		{Name: "chr1", Seq: bytes.Repeat([]byte("ACGT"), 40)},
-		{Name: "chr2 description", Seq: []byte("GGGTTT")},
+		{Name: "chr2", Desc: "Homo sapiens description", Seq: []byte("GGGTTT")},
 	}
 	var buf bytes.Buffer
 	if err := WriteFASTA(&buf, recs); err != nil {
@@ -284,9 +284,15 @@ func TestFASTARoundTrip(t *testing.T) {
 		t.Fatalf("got %d records", len(back))
 	}
 	for i := range recs {
-		if back[i].Name != recs[i].Name || !bytes.Equal(back[i].Seq, recs[i].Seq) {
+		if back[i].Name != recs[i].Name || back[i].Desc != recs[i].Desc ||
+			!bytes.Equal(back[i].Seq, recs[i].Seq) {
 			t.Fatalf("record %d mismatch: %+v vs %+v", i, back[i], recs[i])
 		}
+	}
+	// A described header never leaks whitespace into the id: Name is the
+	// first word, the remainder is kept as the description.
+	if back[1].Name != "chr2" || back[1].Desc != "Homo sapiens description" {
+		t.Fatalf("header not split at first whitespace: %+v", back[1])
 	}
 }
 

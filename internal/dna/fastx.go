@@ -7,29 +7,50 @@ import (
 	"io"
 )
 
-// Record is a named sequence parsed from FASTA or FASTQ input.
+// Record is a named sequence parsed from FASTA or FASTQ input. For FASTA
+// records Name is the header's first whitespace-delimited word (the sequence
+// id downstream formats like SAM require) and Desc the remainder of the
+// header, so a described header (">chr1 Homo sapiens") never leaks whitespace
+// into an identifier. FASTQ names keep the whole header in Name, as before.
 type Record struct {
 	Name string
+	Desc string // FASTA header description (text after the id), "" otherwise
 	Seq  []byte
 	Qual []byte // nil for FASTA
 }
 
+// fastaBufSize is ReadFASTA's internal read-buffer size. Lines longer than
+// the buffer — an unwrapped chromosome-scale sequence line, say — are
+// consumed in buffer-sized chunks, so no line-length cap exists.
+const fastaBufSize = 1 << 16
+
 // ReadFASTA parses all records from a FASTA stream. It tolerates wrapped
-// sequence lines and blank lines.
+// sequence lines and blank lines, and imposes no limit on line length (an
+// unwrapped chromosome on a single line is read in chunks). Headers are
+// split at the first whitespace into Record.Name and Record.Desc.
 func ReadFASTA(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	br := bufio.NewReaderSize(r, fastaBufSize)
 	var recs []Record
 	var cur *Record
+	var scratch []byte // one line, reused across lines
 	line := 0
-	for sc.Scan() {
+	for {
+		b, err := readLine(br, scratch[:0])
+		if b == nil && err == io.EOF {
+			return recs, nil
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("dna: fasta scan: %w", err)
+		}
+		scratch = b
 		line++
-		b := bytes.TrimSpace(sc.Bytes())
+		b = bytes.TrimSpace(b)
 		if len(b) == 0 {
 			continue
 		}
 		if b[0] == '>' {
-			recs = append(recs, Record{Name: string(bytes.TrimSpace(b[1:]))})
+			name, desc := splitHeader(bytes.TrimSpace(b[1:]))
+			recs = append(recs, Record{Name: name, Desc: desc})
 			cur = &recs[len(recs)-1]
 			continue
 		}
@@ -38,17 +59,58 @@ func ReadFASTA(r io.Reader) ([]Record, error) {
 		}
 		cur.Seq = append(cur.Seq, b...)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dna: fasta scan: %w", err)
-	}
-	return recs, nil
 }
 
-// WriteFASTA writes records in FASTA format with 70-column wrapping.
+// readLine appends one input line (without its terminator) to buf, growing
+// buf as needed — unlike a bufio.Scanner there is no maximum line length.
+// At end of input it returns (nil, io.EOF) when no bytes remain, or the
+// final unterminated line with io.EOF.
+func readLine(br *bufio.Reader, buf []byte) ([]byte, error) {
+	read := false
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 {
+			read = true
+			if chunk[len(chunk)-1] == '\n' {
+				return append(buf, chunk[:len(chunk)-1]...), nil
+			}
+			buf = append(buf, chunk...)
+		}
+		switch err {
+		case nil:
+			return buf, nil
+		case bufio.ErrBufferFull:
+			continue // long line: keep consuming chunks
+		case io.EOF:
+			if !read {
+				return nil, io.EOF
+			}
+			return buf, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// splitHeader splits a FASTA header (after '>') into the id and description.
+func splitHeader(h []byte) (name, desc string) {
+	if i := bytes.IndexAny(h, " \t"); i >= 0 {
+		return string(h[:i]), string(bytes.TrimSpace(h[i+1:]))
+	}
+	return string(h), ""
+}
+
+// WriteFASTA writes records in FASTA format with 70-column wrapping. A
+// record's description, when present, follows the id on the header line, so
+// ReadFASTA round-trips both fields.
 func WriteFASTA(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)
 	for _, rec := range recs {
-		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+		hdr := rec.Name
+		if rec.Desc != "" {
+			hdr += " " + rec.Desc
+		}
+		if _, err := fmt.Fprintf(bw, ">%s\n", hdr); err != nil {
 			return err
 		}
 		for off := 0; off < len(rec.Seq); off += 70 {

@@ -1,9 +1,55 @@
 package dna
 
 import (
+	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 )
+
+// TestFASTAUnwrappedChromosomeLine is the regression for the scanner-era
+// line cap: an unwrapped chromosome-scale FASTA line longer than the
+// reader's internal buffer used to fail with "token too long"; it must now
+// decode in chunks, byte for byte.
+func TestFASTAUnwrappedChromosomeLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	long := RandomSeq(rng, 3*fastaBufSize+137) // > internal buffer, unaligned
+	var in bytes.Buffer
+	in.WriteString(">chrLong unwrapped\n")
+	in.Write(long)
+	in.WriteString("\n>chr2\nACGTACGT\n")
+	recs, err := ReadFASTA(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Name != "chrLong" || recs[0].Desc != "unwrapped" {
+		t.Fatalf("header split drifted: %+v", recs[0])
+	}
+	if !bytes.Equal(recs[0].Seq, long) {
+		t.Fatalf("chunked long line corrupted the sequence: got %d bytes, want %d",
+			len(recs[0].Seq), len(long))
+	}
+	if string(recs[1].Seq) != "ACGTACGT" {
+		t.Fatalf("record after the long line drifted: %+v", recs[1])
+	}
+}
+
+// TestFASTAFinalLineNoNewline covers the chunked reader's EOF handling: the
+// final sequence line may end without a terminator, terminated mid-chunk.
+func TestFASTAFinalLineNoNewline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	long := RandomSeq(rng, fastaBufSize+53)
+	recs, err := ReadFASTA(bytes.NewReader(append([]byte(">c\n"), long...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Seq, long) {
+		t.Fatalf("unterminated long final line mis-read (%d records)", len(recs))
+	}
+}
 
 // scanAll drives the incremental decoder record by record, the way a
 // streaming consumer would.

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "fig5-he100", "fig5-le150", "fig5-he150", "fig5-le250", "fig5-he250",
 		"fig6", "fig6-150", "fig6-250", "fig7", "fig8", "figs12",
 		"tables24", "tables25", "tables26", "occupancy", "ablation", "fig2",
-		"pipeline", "mapstream", "streamingest",
+		"pipeline", "mapstream", "streamingest", "multicontig",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -152,6 +152,19 @@ func TestWholeGenomeExperimentsRun(t *testing.T) {
 		}
 		if !strings.Contains(buf.String(), "paper") {
 			t.Fatalf("%s output missing paper reference", id)
+		}
+	}
+}
+
+func TestMultiContigExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("multicontig", tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chr1", "chr2", "chr3", "junction-straddling reads mapped: 0/"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multicontig output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -6,6 +6,13 @@
 // filtering between seeding and verification, and banded dynamic-programming
 // verification — the expensive stage the filter protects.
 //
+// The reference is multi-contig (mapper.Reference): a whole-genome FASTA's
+// chromosomes live concatenated in one sequence with a contig table mapping
+// concatenated positions back to (contig, contig-relative) coordinates. The
+// index never spans a k-window across a contig boundary, candidate windows
+// are rejected unless wholly inside one contig, and reported Mappings carry
+// contig-relative coordinates.
+//
 // Two execution paths are offered, mirroring package gkgpu's split.
 // Mapper.MapReads is the paper's one-shot pipeline: synchronized phases in
 // which a batch of reads is seeded, its candidates are filtered in one
@@ -22,21 +29,26 @@
 // Stats.StageSeconds) differs. Mapper.MapPairs builds paired-end mapping on
 // top of the streaming path: both mates of an FR library map in one
 // streaming pass and concordant pairs are resolved against an insert-size
-// window.
+// window, with concordance restricted to same-contig mates.
 package mapper
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/dna"
 )
 
-// Index is a k-mer index over a reference sequence in CSR (compressed
+// Index is a k-mer index over a (multi-contig) reference in CSR (compressed
 // sparse row) form: one flat positions array grouped by k-mer, addressed
-// through a bucket-offset array. Every position of the reference whose
-// k-window is fully defined (no 'N') is indexed.
+// through a bucket-offset array. Every position whose k-window is fully
+// defined (no 'N') and fully inside one contig is indexed; windows that
+// would straddle a contig boundary of the concatenated sequence are never
+// entered, so seed hits can only land inside a contig.
 //
 // The layout replaces the seed implementation's map[uint32][]int32: a map
 // costs a hash probe plus pointer chases per lookup and fragments millions
@@ -46,8 +58,17 @@ import (
 // of the packed k-mer key; within a bucket entries are sorted by full key
 // (position-stable, so hit lists stay in ascending reference order exactly
 // as the map layout appended them).
+//
+// The build is sharded per contig: contigs are assigned to contiguous
+// shards balanced by base count, and both counting-sort passes run one
+// goroutine per shard (each shard owns a private bucket-count array merged
+// into per-shard cursors between the passes), so whole-genome build time
+// scales with cores. Shard order equals contig order equals position order,
+// making the arrays bit-identical to a sequential build regardless of shard
+// count.
 type Index struct {
-	ref []byte
+	ref *Reference
+	seq []byte // ref.Seq(), kept flat for the hot paths
 	k   int
 
 	shift   uint     // key -> bucket: bucket = key >> shift
@@ -61,29 +82,72 @@ type Index struct {
 // DefaultSeedLen is the default k-mer length, in mrFAST's 12-14 range.
 const DefaultSeedLen = 13
 
-// NewIndex builds the index. k must be in [8, 16] so a seed packs into one
-// 32-bit key.
-func NewIndex(ref []byte, k int) (*Index, error) {
+// maxShardCountBytes bounds the total transient bucket-count memory of a
+// sharded build (4 bytes per bucket per shard, freed once the build
+// returns); when the bucket array is huge the shard count degrades
+// gracefully rather than ballooning. The budget is sized for whole-genome
+// work: at the 2^26-bucket cap a shard's counts are 256 MiB, so a 1 GiB
+// budget keeps 4 shards alive on chromosome-scale references — small next
+// to the keys/pos arrays such a reference allocates anyway (8 bytes per
+// indexed position). Kept under 2^31 so the constant stays a valid int on
+// 32-bit platforms.
+const maxShardCountBytes = 1 << 30
+
+// NewIndex builds the index over one flat sequence, treated as a single
+// contig. k must be in [8, 16] so a seed packs into one 32-bit key.
+func NewIndex(seq []byte, k int) (*Index, error) {
+	return NewReferenceIndex(SingleContig("", seq), k)
+}
+
+// NewReferenceIndex builds the index over a multi-contig reference, sharding
+// the counting-sort build per contig. k must be in [8, 16].
+func NewReferenceIndex(r *Reference, k int) (*Index, error) {
+	return buildReferenceIndex(r, k, runtime.GOMAXPROCS(0))
+}
+
+// buildReferenceIndex is NewReferenceIndex with the shard-count cap exposed:
+// the result is bit-identical for any maxShards (tests force several counts
+// to prove it).
+func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 	if k < 8 || k > 16 {
 		return nil, fmt.Errorf("mapper: seed length %d outside [8,16]", k)
 	}
-	if len(ref) < k {
-		return nil, fmt.Errorf("mapper: reference (%d) shorter than seed (%d)", len(ref), k)
+	if r.Len() < k {
+		return nil, fmt.Errorf("mapper: reference (%d) shorter than seed (%d)", r.Len(), k)
+	}
+	// Positions are int32 throughout the index and the filter engines; a
+	// concatenation past that must fail loudly, not wrap.
+	if int64(r.Len()) > math.MaxInt32 {
+		return nil, fmt.Errorf("mapper: reference length %d exceeds the index's int32 position space (%d); split the workload per chromosome group",
+			r.Len(), math.MaxInt32)
 	}
 
-	// Pass 0: roll the 2-bit hash across the reference once to count
-	// indexable windows (those with k defined bases).
+	contigs := r.Contigs()
+	shards := shardContigs(contigs, maxShards)
+
+	// Pass 0 (parallel per shard): count indexable windows — k defined bases
+	// wholly inside one contig.
+	perShardN := make([]int, len(shards))
+	forEachShard(shards, func(s int, sh contigShard) {
+		n := 0
+		for _, c := range contigs[sh.lo:sh.hi] {
+			valid := 0
+			for _, b := range r.seq[c.Off:c.End()] {
+				if !dna.IsACGT(b) {
+					valid = 0
+					continue
+				}
+				valid++
+				if valid >= k {
+					n++
+				}
+			}
+		}
+		perShardN[s] = n
+	})
 	n := 0
-	valid := 0
-	for _, b := range ref {
-		if !dna.IsACGT(b) {
-			valid = 0
-			continue
-		}
-		valid++
-		if valid >= k {
-			n++
-		}
+	for _, sn := range perShardN {
+		n += sn
 	}
 
 	// Bucket geometry: use the full 2k key bits when small enough,
@@ -103,8 +167,18 @@ func NewIndex(ref []byte, k int) (*Index, error) {
 	shift := uint(2*k - bbits)
 	nBuckets := 1 << uint(bbits)
 
+	// Re-shard if the per-shard count arrays would blow the memory budget:
+	// fewer shards, same result (the build is shard-count invariant).
+	if maxByBudget := maxShardCountBytes / (4 * nBuckets); len(shards) > maxByBudget {
+		if maxByBudget < 1 {
+			maxByBudget = 1
+		}
+		shards = shardContigs(contigs, maxByBudget)
+	}
+
 	idx := &Index{
-		ref:     ref,
+		ref:     r,
+		seq:     r.seq,
 		k:       k,
 		shift:   shift,
 		offsets: make([]uint32, nBuckets+1),
@@ -112,64 +186,71 @@ func NewIndex(ref []byte, k int) (*Index, error) {
 		pos:     make([]int32, n),
 	}
 
-	// Pass 1: count entries per bucket.
-	counts := idx.offsets[1:] // alias: counts[b] accumulates bucket b's size
-	var key uint32
-	mask := uint32(1)<<(2*k) - 1
-	valid = 0
-	for _, b := range ref {
-		code, ok := dna.Code(b)
-		if !ok {
-			valid = 0
-			key = 0
-			continue
-		}
-		key = (key<<2 | uint32(code)) & mask
-		valid++
-		if valid >= k {
-			counts[key>>shift]++
-		}
-	}
-	// Prefix-sum the counts into bucket offsets (offsets[0] is already 0).
-	for b := 1; b < nBuckets; b++ {
-		counts[b] += counts[b-1]
-	}
+	// Pass 1 (parallel per shard): count entries per (shard, bucket).
+	counts := make([][]uint32, len(shards))
+	forEachShard(shards, func(s int, sh contigShard) {
+		cs := make([]uint32, nBuckets)
+		idx.countShard(contigs[sh.lo:sh.hi], cs)
+		counts[s] = cs
+	})
 
-	// Pass 2: place (key, pos) into its bucket. cursor[b] starts at the
-	// bucket's base offset; scanning the reference left to right keeps each
-	// bucket's entries in ascending position order.
-	cursor := make([]uint32, nBuckets)
-	copy(cursor, idx.offsets[:nBuckets])
-	key = 0
-	valid = 0
-	for i, b := range ref {
-		code, ok := dna.Code(b)
-		if !ok {
-			valid = 0
-			key = 0
-			continue
+	// Merge: turn the per-shard counts into per-shard start cursors and the
+	// global bucket offsets. Bucket b's entries are laid out shard by shard,
+	// and shards hold contigs in reference order, so each bucket's entries
+	// stay in ascending position order — exactly the sequential layout.
+	// The merge itself is O(nBuckets·shards), which at whole-genome bucket
+	// counts would serialize between the two parallel passes, so it runs
+	// per bucket range: each range's entry total is summed in parallel, a
+	// short prefix over the range totals gives every range its base, and
+	// the cursor/offset fill proceeds in parallel from those bases —
+	// bit-identical to the sequential walk.
+	ranges := splitRange(nBuckets, runtime.GOMAXPROCS(0))
+	rangeTotal := make([]uint32, len(ranges))
+	forEachRange(ranges, func(ri int, lo, hi int) {
+		var t uint32
+		for b := lo; b < hi; b++ {
+			for _, cs := range counts {
+				t += cs[b]
+			}
 		}
-		key = (key<<2 | uint32(code)) & mask
-		valid++
-		if valid >= k {
-			bk := key >> shift
-			c := cursor[bk]
-			idx.keys[c] = key
-			idx.pos[c] = int32(i - k + 1)
-			cursor[bk] = c + 1
-		}
+		rangeTotal[ri] = t
+	})
+	base := uint32(0)
+	for ri, t := range rangeTotal {
+		rangeTotal[ri] = base
+		base += t
 	}
+	forEachRange(ranges, func(ri int, lo, hi int) {
+		running := rangeTotal[ri]
+		for b := lo; b < hi; b++ {
+			for _, cs := range counts {
+				c := cs[b]
+				cs[b] = running // becomes shard s's cursor for bucket b
+				running += c
+			}
+			idx.offsets[b+1] = running
+		}
+	})
+
+	// Pass 2 (parallel per shard): place (key, pos) at the shard's cursors.
+	// Within a shard the reference scans left to right, keeping each
+	// (shard, bucket) run in ascending position order.
+	forEachShard(shards, func(s int, sh contigShard) {
+		idx.placeShard(contigs[sh.lo:sh.hi], counts[s])
+	})
 
 	// Sort each bucket by full key, stably, so equal keys keep ascending
 	// positions. When shift is 0 every bucket holds exactly one key and the
-	// sort is a no-op.
+	// sort is a no-op. Buckets are independent; split them across workers.
 	if shift != 0 {
-		for b := 0; b < nBuckets; b++ {
-			lo, hi := idx.offsets[b], idx.offsets[b+1]
-			if hi-lo > 1 {
-				sortBucket(idx.keys[lo:hi], idx.pos[lo:hi])
+		forEachRange(ranges, func(_ int, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				blo, bhi := idx.offsets[b], idx.offsets[b+1]
+				if bhi-blo > 1 {
+					sortBucket(idx.keys[blo:bhi], idx.pos[blo:bhi])
+				}
 			}
-		}
+		})
 	}
 
 	// Count distinct k-mers (diagnostics), one linear scan: equal keys are
@@ -180,6 +261,153 @@ func NewIndex(ref []byte, k int) (*Index, error) {
 		}
 	}
 	return idx, nil
+}
+
+// countShard rolls the 2-bit hash across each of the shard's contigs
+// independently (the key and validity reset at contig starts, so no window
+// straddles a boundary) and counts each indexable window into its bucket.
+// The loop body is kept direct — no per-window callback — because the two
+// counting-sort passes dominate the build.
+func (x *Index) countShard(contigs []Contig, counts []uint32) {
+	k := x.k
+	shift := x.shift
+	mask := uint32(1)<<(2*k) - 1
+	for _, c := range contigs {
+		var key uint32
+		valid := 0
+		for _, b := range x.seq[c.Off:c.End()] {
+			code, ok := dna.Code(b)
+			if !ok {
+				valid = 0
+				key = 0
+				continue
+			}
+			key = (key<<2 | uint32(code)) & mask
+			valid++
+			if valid >= k {
+				counts[key>>shift]++
+			}
+		}
+	}
+}
+
+// placeShard is countShard's second pass: the same per-contig rolling hash,
+// placing each (key, global position) at the shard's bucket cursors.
+func (x *Index) placeShard(contigs []Contig, cursor []uint32) {
+	k := x.k
+	shift := x.shift
+	mask := uint32(1)<<(2*k) - 1
+	for _, c := range contigs {
+		var key uint32
+		valid := 0
+		for i := c.Off; i < c.End(); i++ {
+			code, ok := dna.Code(x.seq[i])
+			if !ok {
+				valid = 0
+				key = 0
+				continue
+			}
+			key = (key<<2 | uint32(code)) & mask
+			valid++
+			if valid >= k {
+				bk := key >> shift
+				cu := cursor[bk]
+				x.keys[cu] = key
+				x.pos[cu] = int32(i - k + 1)
+				cursor[bk] = cu + 1
+			}
+		}
+	}
+}
+
+// contigShard is a contiguous run of contigs built by one worker.
+type contigShard struct{ lo, hi int }
+
+// shardContigs splits the contig table into at most maxShards contiguous
+// runs balanced by base count. Contiguity is what keeps the sharded build
+// deterministic: shard order equals contig order equals position order.
+func shardContigs(contigs []Contig, maxShards int) []contigShard {
+	if maxShards > len(contigs) {
+		maxShards = len(contigs)
+	}
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	total := 0
+	for _, c := range contigs {
+		total += c.Len
+	}
+	target := (total + maxShards - 1) / maxShards
+	shards := make([]contigShard, 0, maxShards)
+	lo, acc := 0, 0
+	for i, c := range contigs {
+		acc += c.Len
+		if acc >= target && len(shards) < maxShards-1 {
+			shards = append(shards, contigShard{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < len(contigs) {
+		shards = append(shards, contigShard{lo, len(contigs)})
+	}
+	return shards
+}
+
+// bucketRange is a contiguous run of buckets processed by one worker.
+type bucketRange struct{ lo, hi int }
+
+// splitRange chops [0,n) into at most workers contiguous chunks.
+func splitRange(n, workers int) []bucketRange {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	ranges := make([]bucketRange, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, bucketRange{lo, hi})
+	}
+	return ranges
+}
+
+// forEachRange runs fn once per bucket range, concurrently.
+func forEachRange(ranges []bucketRange, fn func(ri, lo, hi int)) {
+	if len(ranges) == 1 {
+		fn(0, ranges[0].lo, ranges[0].hi)
+		return
+	}
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri, lo, hi int) {
+			defer wg.Done()
+			fn(ri, lo, hi)
+		}(ri, r.lo, r.hi)
+	}
+	wg.Wait()
+}
+
+// forEachShard runs fn once per shard, concurrently.
+func forEachShard(shards []contigShard, fn func(s int, sh contigShard)) {
+	if len(shards) == 1 {
+		fn(0, shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for s, sh := range shards {
+		wg.Add(1)
+		go func(s int, sh contigShard) {
+			defer wg.Done()
+			fn(s, sh)
+		}(s, sh)
+	}
+	wg.Wait()
 }
 
 // sortBucket stable-sorts a bucket's parallel key/pos arrays by key.
@@ -218,13 +446,17 @@ func sortBucket(keys []uint32, pos []int32) {
 // K returns the seed length.
 func (x *Index) K() int { return x.k }
 
-// Ref returns the indexed reference.
-func (x *Index) Ref() []byte { return x.ref }
+// Ref returns the indexed reference's concatenated sequence.
+func (x *Index) Ref() []byte { return x.seq }
+
+// Reference returns the indexed multi-contig reference.
+func (x *Index) Reference() *Reference { return x.ref }
 
 // Lookup returns the reference positions whose k-window equals seed, or nil
 // when the seed contains an undefined base or has no hits. The returned
 // slice is a view into the index's positions array — ascending, read-only,
-// and produced without allocating.
+// and produced without allocating. Positions address the concatenated
+// sequence; every hit's k-window lies wholly inside one contig.
 func (x *Index) Lookup(seed []byte) []int32 {
 	if len(seed) != x.k {
 		return nil

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -202,6 +203,28 @@ func BenchmarkIndexBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewIndex(ref, DefaultSeedLen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceIndexBuild measures the sharded multi-contig build: 16
+// contigs totalling the same 500kb as BenchmarkIndexBuild, so comparing the
+// two shows what the per-contig-shard parallelism buys.
+func BenchmarkReferenceIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	recs := make([]dna.Record, 16)
+	for i := range recs {
+		recs[i] = dna.Record{Name: fmt.Sprintf("chr%d", i), Seq: dna.RandomSeq(rng, 500_000/16)}
+	}
+	ref, err := NewReference(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewReferenceIndex(ref, DefaultSeedLen); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -58,10 +58,14 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Mapping is one reported alignment.
+// Mapping is one reported alignment. Coordinates are contig-relative:
+// Contig indexes the mapper's Reference contig table and Pos is the offset
+// of the candidate window inside that contig (for a single-contig reference
+// Contig is 0 and Pos equals the historical flat-reference offset).
 type Mapping struct {
 	ReadID   int
-	Pos      int    // reference offset of the candidate window
+	Contig   int    // index into Reference.Contigs()
+	Pos      int    // contig-relative offset of the candidate window
 	Distance int    // verified edit distance
 	CIGAR    string // populated when Config.Traceback is set
 	Reverse  bool   // mapping of the read's reverse complement
@@ -147,15 +151,26 @@ func (s Stats) Reduction() float64 {
 	return float64(s.RejectedPairs) / float64(s.CandidatePairs)
 }
 
-// Mapper maps fixed-length reads against an indexed reference.
+// Mapper maps fixed-length reads against an indexed (multi-contig)
+// reference.
 type Mapper struct {
 	cfg        Config
+	ref        *Reference
 	idx        *Index
 	candFilter CandidateFilter // non-nil when cfg.Filter supports the index path
 }
 
-// New builds a mapper over the reference.
+// New builds a mapper over one flat reference sequence, treated as a single
+// contig. NewFromReference is the multi-contig form.
 func New(ref []byte, cfg Config) (*Mapper, error) {
+	return NewFromReference(SingleContig("", ref), cfg)
+}
+
+// NewFromReference builds a mapper over a multi-contig reference: seeding,
+// filtering, and verification run over the concatenated sequence, candidate
+// windows never straddle a contig boundary, and reported Mappings carry
+// (contig, contig-relative position) coordinates.
+func NewFromReference(ref *Reference, cfg Config) (*Mapper, error) {
 	cfg.applyDefaults()
 	if cfg.ReadLen <= 0 {
 		return nil, fmt.Errorf("mapper: read length %d", cfg.ReadLen)
@@ -166,13 +181,13 @@ func New(ref []byte, cfg Config) (*Mapper, error) {
 	if cfg.SeedLen > cfg.ReadLen {
 		return nil, fmt.Errorf("mapper: seed length %d exceeds read length %d", cfg.SeedLen, cfg.ReadLen)
 	}
-	idx, err := NewIndex(ref, cfg.SeedLen)
+	idx, err := NewReferenceIndex(ref, cfg.SeedLen)
 	if err != nil {
 		return nil, err
 	}
-	m := &Mapper{cfg: cfg, idx: idx}
+	m := &Mapper{cfg: cfg, ref: ref, idx: idx}
 	if cf, ok := cfg.Filter.(CandidateFilter); ok {
-		if err := cf.SetReference(ref); err != nil {
+		if err := cf.SetReference(ref.Seq()); err != nil {
 			return nil, fmt.Errorf("mapper: loading reference into filter: %w", err)
 		}
 		m.candFilter = cf
@@ -183,9 +198,15 @@ func New(ref []byte, cfg Config) (*Mapper, error) {
 // Index exposes the underlying k-mer index.
 func (m *Mapper) Index() *Index { return m.idx }
 
+// Reference exposes the mapper's contig table.
+func (m *Mapper) Reference() *Reference { return m.ref }
+
 // candidates runs pigeonhole seeding for one read: e+1 seeds at evenly
 // spread offsets; each hit proposes the window that would place the read at
-// that seed offset. Duplicates are merged.
+// that seed offset. Windows that would run past the start or end of the
+// hit's contig — including into a neighbouring contig of the concatenated
+// sequence — are dropped here, before filtering, so a cross-boundary
+// candidate never reaches verification. Duplicates are merged.
 func (m *Mapper) candidates(read []byte, e int) []int32 {
 	L := m.cfg.ReadLen
 	k := m.idx.k
@@ -196,6 +217,7 @@ func (m *Mapper) candidates(read []byte, e int) []int32 {
 	if nSeeds < 1 {
 		nSeeds = 1
 	}
+	contigs := m.ref.Contigs()
 	var out []int32
 	for s := 0; s < nSeeds; s++ {
 		var off int
@@ -206,7 +228,10 @@ func (m *Mapper) candidates(read []byte, e int) []int32 {
 		}
 		for _, hit := range m.idx.Lookup(read[off : off+k]) {
 			pos := hit - int32(off)
-			if pos < 0 || int(pos)+L > len(m.idx.ref) {
+			// The hit's k-window is inside one contig by construction; the
+			// proposed read window must be too.
+			c := contigs[m.ref.ContigOf(int(hit))]
+			if int(pos) < c.Off || int(pos)+L > c.End() {
 				continue
 			}
 			out = append(out, pos)
@@ -243,7 +268,7 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 	var mappings []Mapping
 	totalStart := time.Now()
 	L := m.cfg.ReadLen
-	ref := m.idx.ref
+	ref := m.idx.seq
 
 	for lo := 0; lo < len(reads); lo += m.cfg.MaxReadsPerBatch {
 		hi := lo + m.cfg.MaxReadsPerBatch
@@ -338,13 +363,14 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 			}
 			st.VerificationPairs++
 			q := queries[c.query]
+			ci, rel := m.ref.Locate(int(c.pos))
 			if m.cfg.Traceback {
 				if al, ok := align.Align(pairs[i].Read, pairs[i].Ref, e); ok {
-					mappings = append(mappings, Mapping{ReadID: q.readID, Pos: int(c.pos),
+					mappings = append(mappings, Mapping{ReadID: q.readID, Contig: ci, Pos: rel,
 						Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: q.reverse})
 				}
 			} else if d, ok := align.DistanceBanded(pairs[i].Read, pairs[i].Ref, e); ok {
-				mappings = append(mappings, Mapping{ReadID: q.readID, Pos: int(c.pos),
+				mappings = append(mappings, Mapping{ReadID: q.readID, Contig: ci, Pos: rel,
 					Distance: d, Reverse: q.reverse})
 			}
 		}
@@ -375,14 +401,18 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 }
 
 // sortMappings puts a mapping list into the mapper's canonical report order:
-// (read, position, strand). The strand tie-break keeps the order fully
-// deterministic — MapReads and MapStream must emit byte-identical output —
-// even for the rare read whose forward and reverse-complement queries map at
-// the same position.
+// (read, contig, position, strand). Contigs order as the reference lays them
+// out, so the order equals the historical flat-position order; the strand
+// tie-break keeps it fully deterministic — MapReads and MapStream must emit
+// byte-identical output — even for the rare read whose forward and
+// reverse-complement queries map at the same position.
 func sortMappings(mappings []Mapping) {
 	sort.Slice(mappings, func(i, j int) bool {
 		if mappings[i].ReadID != mappings[j].ReadID {
 			return mappings[i].ReadID < mappings[j].ReadID
+		}
+		if mappings[i].Contig != mappings[j].Contig {
+			return mappings[i].Contig < mappings[j].Contig
 		}
 		if mappings[i].Pos != mappings[j].Pos {
 			return mappings[i].Pos < mappings[j].Pos

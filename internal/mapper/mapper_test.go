@@ -376,7 +376,7 @@ func TestSAMReverseFlag(t *testing.T) {
 	reads := [][]byte{[]byte("ACGTACGT")}
 	mappings := []Mapping{{ReadID: 0, Pos: 10, Distance: 0, Reverse: true}}
 	var buf bytes.Buffer
-	if err := WriteSAM(&buf, "chr", 100, nil, reads, mappings); err != nil {
+	if err := WriteSAM(&buf, SingleContig("chr", make([]byte, 100)), nil, reads, mappings); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "read0\t16\tchr") {
@@ -439,8 +439,9 @@ func TestMapperTracebackCIGAR(t *testing.T) {
 func TestWriteSAM(t *testing.T) {
 	reads := [][]byte{[]byte("ACGTACGT")}
 	mappings := []Mapping{{ReadID: 0, Pos: 41, Distance: 2}}
+	chrSim := SingleContig("chrSim", make([]byte, 1000))
 	var buf bytes.Buffer
-	if err := WriteSAM(&buf, "chrSim", 1000, nil, reads, mappings); err != nil {
+	if err := WriteSAM(&buf, chrSim, nil, reads, mappings); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -449,8 +450,11 @@ func TestWriteSAM(t *testing.T) {
 			t.Fatalf("SAM output missing %q:\n%s", want, out)
 		}
 	}
-	if err := WriteSAM(&buf, "chrSim", 1000, nil, reads, []Mapping{{ReadID: 5}}); err == nil {
+	if err := WriteSAM(&buf, chrSim, nil, reads, []Mapping{{ReadID: 5}}); err == nil {
 		t.Fatal("dangling read ID accepted")
+	}
+	if err := WriteSAM(&buf, chrSim, nil, reads, []Mapping{{ReadID: 0, Contig: 3}}); err == nil {
+		t.Fatal("dangling contig index accepted")
 	}
 }
 

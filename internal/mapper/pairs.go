@@ -18,7 +18,10 @@ type ReadPair struct {
 // InsertWindow bounds the accepted fragment length (outer distance: leftmost
 // mapped base of one mate to rightmost mapped base of the other) for a
 // concordant pair. The zero value asks the mapper to estimate the window
-// from the data (EstimateInsertWindow), as real mappers do.
+// from the data (EstimateInsertWindow), as real mappers do; a window with
+// exactly one bound set (the other zero) estimates just the missing bound,
+// so callers can pin one side and let the data pick the other. A merged or
+// explicit window with Min > Max is rejected.
 type InsertWindow struct {
 	Min, Max int
 }
@@ -32,16 +35,18 @@ type PairMapping struct {
 	Insert       int
 }
 
-// checkInsertWindow validates an explicit window; the zero value passes
-// (it selects estimation at resolution time).
+// checkInsertWindow validates an explicit or partial window; the zero value
+// passes (it selects estimation at resolution time), as does a window with
+// one bound zero (that bound is estimated). An explicit Min > Max is
+// rejected here, before any mapping work runs.
 func checkInsertWindow(win InsertWindow, readLen int) error {
-	if win == (InsertWindow{}) {
-		return nil
-	}
-	if win.Min < 0 || win.Max < win.Min {
+	if win.Min < 0 || win.Max < 0 {
 		return fmt.Errorf("mapper: insert window [%d,%d] invalid", win.Min, win.Max)
 	}
-	if win.Min < readLen {
+	if win.Min > 0 && win.Max > 0 && win.Max < win.Min {
+		return fmt.Errorf("mapper: insert window [%d,%d] inverted (min > max)", win.Min, win.Max)
+	}
+	if win.Min > 0 && win.Min < readLen {
 		return fmt.Errorf("mapper: insert window minimum %d below read length %d",
 			win.Min, readLen)
 	}
@@ -49,8 +54,8 @@ func checkInsertWindow(win InsertWindow, readLen int) error {
 }
 
 // MapPairs maps read pairs through the streaming pipeline and resolves
-// concordant pairs: both mates mapped in compatible orientation with the
-// fragment length inside the insert window. Each pair contributes at most
+// concordant pairs: both mates mapped to the same contig in compatible
+// orientation with the fragment length inside the insert window. Each pair contributes at most
 // one PairMapping — the combination with the smallest summed edit distance
 // (leftmost, then shortest insert, on ties). R1 is mapped as-is and R2 as
 // its reverse complement, the FR orientation; under Config.BothStrands a
@@ -86,16 +91,26 @@ func (m *Mapper) MapPairs(pairs []ReadPair, e int, win InsertWindow) ([]PairMapp
 
 // resolveConcordant groups interleaved-mate mappings (readID 2i = mate1,
 // 2i+1 = reverse-complemented mate2) into concordant pairs under win,
-// estimating the window first when win is zero, and records the window and
-// pairing counters into st.
+// estimating any zero bound of the window first (both bounds for the zero
+// value, just the missing one for a partial window), and records the window
+// and pairing counters into st.
 func (m *Mapper) resolveConcordant(mappings []Mapping, win InsertWindow, st *Stats) ([]PairMapping, error) {
-	if win == (InsertWindow{}) {
-		var est InsertEstimate
-		var ok bool
-		win, est, ok = EstimateInsertWindow(mappings, m.cfg.ReadLen, 0)
+	if win.Min == 0 || win.Max == 0 {
+		est, ok := estimateInsert(mappings, m.cfg.ReadLen, 0)
 		if !ok {
 			return nil, fmt.Errorf("mapper: cannot estimate insert window: only %d confidently mapped pairs (need %d); pass an explicit window",
 				est.SampledPairs, minInsertSample)
+		}
+		full := est.window(m.cfg.ReadLen)
+		if win.Min == 0 {
+			win.Min = full.Min
+		}
+		if win.Max == 0 {
+			win.Max = full.Max
+		}
+		if win.Max < win.Min {
+			return nil, fmt.Errorf("mapper: insert window [%d,%d] inverted after estimating the missing bound (estimated %v from mean %.0f ± %.0f); pass both bounds explicitly",
+				win.Min, win.Max, full, est.Mean, est.Std)
 		}
 		st.InsertMean, st.InsertStd = est.Mean, est.Std
 		st.InsertSampledPairs = int64(est.SampledPairs)
@@ -128,8 +143,9 @@ func (m *Mapper) resolveConcordant(mappings []Mapping, win InsertWindow, st *Sta
 }
 
 // resolvePair picks the best concordant combination of one pair's mate
-// mappings, if any: FR orientation, insert inside the window, minimal
-// summed distance (then leftmost start, then shortest insert).
+// mappings, if any: same contig, FR orientation, insert inside the window,
+// minimal summed distance (then leftmost start on the earliest contig, then
+// shortest insert).
 func resolvePair(pairID int, m1, m2 []Mapping, L int, win InsertWindow) (PairMapping, bool) {
 	best := PairMapping{PairID: pairID}
 	found := false
@@ -137,6 +153,9 @@ func resolvePair(pairID int, m1, m2 []Mapping, L int, win InsertWindow) (PairMap
 		da, db := a.Mate1.Distance+a.Mate2.Distance, b.Mate1.Distance+b.Mate2.Distance
 		if da != db {
 			return da < db
+		}
+		if a.Mate1.Contig != b.Mate1.Contig {
+			return a.Mate1.Contig < b.Mate1.Contig
 		}
 		la, lb := min(a.Mate1.Pos, a.Mate2.Pos), min(b.Mate1.Pos, b.Mate2.Pos)
 		if la != lb {
@@ -146,6 +165,12 @@ func resolvePair(pairID int, m1, m2 []Mapping, L int, win InsertWindow) (PairMap
 	}
 	for _, a := range m1 {
 		for _, b := range m2 {
+			// A fragment is one piece of one chromosome: mates mapping to
+			// different contigs are discordant no matter how close their
+			// contig-relative coordinates look.
+			if a.Contig != b.Contig {
+				continue
+			}
 			// FR concordance is orientation AND order. On a forward-strand
 			// fragment (both queries mapping forward) R1 reads the left end,
 			// so its window must be leftmost; on a reverse-strand fragment
@@ -193,23 +218,50 @@ type InsertEstimate struct {
 	Mean, Std    float64
 }
 
+// window derives the concordance window from the fitted sample: mean ±
+// (4·std + readLen/4) — four sigma covers essentially the whole fragment
+// distribution and the readLen/4 pad keeps the window from under-covering
+// on small or low-variance samples. Min is clamped to readLen.
+func (e InsertEstimate) window(readLen int) InsertWindow {
+	half := 4*e.Std + float64(readLen)/4
+	lo := int(math.Floor(e.Mean - half))
+	hi := int(math.Ceil(e.Mean + half))
+	if lo < readLen {
+		lo = readLen
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return InsertWindow{Min: lo, Max: hi}
+}
+
 // EstimateInsertWindow infers the concordance window real mappers guess
 // from the data itself, removing the need for an explicit -insert-min/-max:
 // it walks single-end mappings of interleaved mates (readID 2i = mate1,
 // 2i+1 = reverse-complemented mate2, MapPairs' layout), measures the
 // fragment length of every confidently mapped pair — both mates mapped
-// uniquely, same strand, proper FR order — and fits mean and standard
-// deviation to the sample. Wild fragments (a unique mis-mapping placing the
-// mates arbitrarily far apart) are discarded beyond ~6 robust standard
-// deviations of the median before fitting, MAD-style, so a handful of
-// outliers cannot blow the window open.
+// uniquely, on the same contig, same strand, proper FR order — and fits
+// mean and standard deviation to the sample. Split pairs (mates uniquely
+// mapping to different contigs) are excluded: their contig-relative
+// coordinate difference is not a fragment length. Wild fragments (a unique
+// mis-mapping placing the mates arbitrarily far apart) are discarded beyond
+// ~6 robust standard deviations of the median before fitting, MAD-style, so
+// a handful of outliers cannot blow the window open.
 //
-// The window is mean ± (4·std + readLen/4): four sigma covers essentially
-// the whole fragment distribution and the readLen/4 pad keeps the window
-// from under-covering on small or low-variance samples. Min is clamped to
-// readLen. maxSample caps the pairs measured (<=0 uses 10,000); ok is
-// false when fewer than minInsertSample confident pairs exist.
+// The window is mean ± (4·std + readLen/4) with Min clamped to readLen (see
+// InsertEstimate.window). maxSample caps the pairs measured (<=0 uses
+// 10,000); ok is false when fewer than minInsertSample confident pairs
+// exist.
 func EstimateInsertWindow(mappings []Mapping, readLen, maxSample int) (InsertWindow, InsertEstimate, bool) {
+	est, ok := estimateInsert(mappings, readLen, maxSample)
+	if !ok {
+		return InsertWindow{}, est, false
+	}
+	return est.window(readLen), est, true
+}
+
+// estimateInsert is EstimateInsertWindow without the window derivation.
+func estimateInsert(mappings []Mapping, readLen, maxSample int) (InsertEstimate, bool) {
 	if maxSample <= 0 {
 		maxSample = defaultInsertSample
 	}
@@ -227,7 +279,7 @@ func EstimateInsertWindow(mappings []Mapping, readLen, maxSample int) (InsertWin
 			}
 		}
 		lo = hi
-		if n1 != 1 || n2 != 1 || a.Reverse != b.Reverse {
+		if n1 != 1 || n2 != 1 || a.Contig != b.Contig || a.Reverse != b.Reverse {
 			continue
 		}
 		if !a.Reverse && b.Pos < a.Pos {
@@ -243,7 +295,7 @@ func EstimateInsertWindow(mappings []Mapping, readLen, maxSample int) (InsertWin
 		inserts = append(inserts, float64(ph+readLen-pl))
 	}
 	if len(inserts) < minInsertSample {
-		return InsertWindow{}, InsertEstimate{SampledPairs: len(inserts)}, false
+		return InsertEstimate{SampledPairs: len(inserts)}, false
 	}
 
 	// Robust outlier trim: keep inserts within 6 MAD-sigmas of the median
@@ -266,7 +318,7 @@ func EstimateInsertWindow(mappings []Mapping, readLen, maxSample int) (InsertWin
 		}
 	}
 	if len(kept) < minInsertSample {
-		return InsertWindow{}, InsertEstimate{SampledPairs: len(kept)}, false
+		return InsertEstimate{SampledPairs: len(kept)}, false
 	}
 
 	var sum float64
@@ -279,18 +331,7 @@ func EstimateInsertWindow(mappings []Mapping, readLen, maxSample int) (InsertWin
 		ss += (x - mean) * (x - mean)
 	}
 	std := math.Sqrt(ss / float64(len(kept)))
-
-	half := 4*std + float64(readLen)/4
-	lo := int(math.Floor(mean - half))
-	hi := int(math.Ceil(mean + half))
-	if lo < readLen {
-		lo = readLen
-	}
-	if hi < lo {
-		hi = lo
-	}
-	est := InsertEstimate{SampledPairs: len(kept), Mean: mean, Std: std}
-	return InsertWindow{Min: lo, Max: hi}, est, true
+	return InsertEstimate{SampledPairs: len(kept), Mean: mean, Std: std}, true
 }
 
 // quantile returns the q-quantile of sorted xs by nearest-rank.

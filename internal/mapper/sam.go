@@ -22,26 +22,48 @@ func samQName(name, fallback string) string {
 	return name
 }
 
-func writeSAMHeader(bw *bufio.Writer, refName string, refLen int) error {
-	_, err := fmt.Fprintf(bw, "@HD\tVN:1.6\tSO:unsorted\n@SQ\tSN:%s\tLN:%d\n@PG\tID:gatekeeper-gpu-repro\tPN:gkmap\n",
-		refName, refLen)
+// writeSAMHeader emits @HD, one @SQ per contig (in reference order), and @PG.
+func writeSAMHeader(bw *bufio.Writer, ref *Reference) error {
+	if _, err := bw.WriteString("@HD\tVN:1.6\tSO:unsorted\n"); err != nil {
+		return err
+	}
+	for _, c := range ref.Contigs() {
+		if _, err := fmt.Fprintf(bw, "@SQ\tSN:%s\tLN:%d\n", c.Name, c.Len); err != nil {
+			return err
+		}
+	}
+	_, err := bw.WriteString("@PG\tID:gatekeeper-gpu-repro\tPN:gkmap\n")
 	return err
 }
 
-// WriteSAM emits mappings as minimal single-reference SAM records (header,
-// one line per mapping, NM tag carrying the verified edit distance), enough
-// for downstream tooling to consume the reproduction's output. names carries
-// the reads' FASTQ names for the QNAME column (truncated at the first
-// whitespace); a nil or short names slice falls back to read%d for the
-// uncovered reads, which is how simulated read sets are written.
-func WriteSAM(w io.Writer, refName string, refLen int, names []string, reads [][]byte, mappings []Mapping) error {
+// contigName resolves a mapping's RNAME, range-checking the contig index.
+func contigName(ref *Reference, contig int) (string, error) {
+	if contig < 0 || contig >= ref.NumContigs() {
+		return "", fmt.Errorf("mapper: mapping references contig %d of %d", contig, ref.NumContigs())
+	}
+	return ref.Contig(contig).Name, nil
+}
+
+// WriteSAM emits mappings as minimal SAM records against a multi-contig
+// reference (header with one @SQ per contig, one line per mapping with the
+// mapping's contig as RNAME and its contig-relative 1-based POS, NM tag
+// carrying the verified edit distance), enough for downstream tooling to
+// consume the reproduction's output. names carries the reads' FASTQ names
+// for the QNAME column (truncated at the first whitespace); a nil or short
+// names slice falls back to read%d for the uncovered reads, which is how
+// simulated read sets are written.
+func WriteSAM(w io.Writer, ref *Reference, names []string, reads [][]byte, mappings []Mapping) error {
 	bw := bufio.NewWriter(w)
-	if err := writeSAMHeader(bw, refName, refLen); err != nil {
+	if err := writeSAMHeader(bw, ref); err != nil {
 		return err
 	}
 	for _, m := range mappings {
 		if m.ReadID < 0 || m.ReadID >= len(reads) {
 			return fmt.Errorf("mapper: mapping references read %d of %d", m.ReadID, len(reads))
+		}
+		rname, err := contigName(ref, m.Contig)
+		if err != nil {
+			return err
 		}
 		read := reads[m.ReadID]
 		flag := 0
@@ -58,7 +80,7 @@ func WriteSAM(w io.Writer, refName string, refLen int, names []string, reads [][
 			qname = samQName(names[m.ReadID], qname)
 		}
 		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t*\t0\t0\t%s\t*\tNM:i:%d\n",
-			qname, flag, refName, m.Pos+1, cigar, read, m.Distance); err != nil {
+			qname, flag, rname, m.Pos+1, cigar, read, m.Distance); err != nil {
 			return err
 		}
 	}
@@ -68,19 +90,35 @@ func WriteSAM(w io.Writer, refName string, refLen int, names []string, reads [][
 // WritePairedSAM emits resolved concordant pairs as standard paired-end SAM:
 // two records per PairMapping sharing one QNAME, with the paired flags
 // (0x1 paired, 0x2 proper, 0x10/0x20 strand and mate strand, 0x40/0x80
-// first/last in pair), RNEXT '=' , PNEXT pointing at the mate, and TLEN
-// signed positive on the leftmost record. SEQ is the aligned orientation
-// (R2 of a forward-strand fragment prints reverse-complemented with 0x10
-// set, exactly as mappers emit FR libraries). names carries the pairs'
-// FASTQ names (pair%d fallback); pairs supplies the mate sequences.
-func WritePairedSAM(w io.Writer, refName string, refLen int, names []string, pairs []ReadPair, resolved []PairMapping) error {
+// first/last in pair), RNEXT '=' for a same-contig mate (every concordant
+// pair; the mate's contig name would be emitted otherwise), PNEXT pointing
+// at the mate, and TLEN signed positive on the leftmost record. SEQ is the
+// aligned orientation (R2 of a forward-strand fragment prints
+// reverse-complemented with 0x10 set, exactly as mappers emit FR
+// libraries). names carries the pairs' FASTQ names (pair%d fallback); pairs
+// supplies the mate sequences.
+func WritePairedSAM(w io.Writer, ref *Reference, names []string, pairs []ReadPair, resolved []PairMapping) error {
 	bw := bufio.NewWriter(w)
-	if err := writeSAMHeader(bw, refName, refLen); err != nil {
+	if err := writeSAMHeader(bw, ref); err != nil {
 		return err
 	}
 	for _, pm := range resolved {
 		if pm.PairID < 0 || pm.PairID >= len(pairs) {
 			return fmt.Errorf("mapper: pair mapping references pair %d of %d", pm.PairID, len(pairs))
+		}
+		rname1, err := contigName(ref, pm.Mate1.Contig)
+		if err != nil {
+			return err
+		}
+		rname2, err := contigName(ref, pm.Mate2.Contig)
+		if err != nil {
+			return err
+		}
+		// Concordant mates share a contig, so RNEXT collapses to '='; keep
+		// the general form so a future discordant emitter stays correct.
+		rnext1, rnext2 := "=", "="
+		if pm.Mate1.Contig != pm.Mate2.Contig {
+			rnext1, rnext2 = rname2, rname1
 		}
 		p := pairs[pm.PairID]
 		fallback := fmt.Sprintf("pair%d", pm.PairID)
@@ -127,12 +165,12 @@ func WritePairedSAM(w io.Writer, refName string, refLen int, names []string, pai
 		if cigar2 == "" {
 			cigar2 = fmt.Sprintf("%dM", len(seq2))
 		}
-		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t=\t%d\t%d\t%s\t*\tNM:i:%d\n",
-			qname, f1, refName, pm.Mate1.Pos+1, cigar1, pm.Mate2.Pos+1, tlen1, seq1, pm.Mate1.Distance); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t%s\t%d\t%d\t%s\t*\tNM:i:%d\n",
+			qname, f1, rname1, pm.Mate1.Pos+1, cigar1, rnext1, pm.Mate2.Pos+1, tlen1, seq1, pm.Mate1.Distance); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t=\t%d\t%d\t%s\t*\tNM:i:%d\n",
-			qname, f2, refName, pm.Mate2.Pos+1, cigar2, pm.Mate1.Pos+1, tlen2, seq2, pm.Mate2.Distance); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t255\t%s\t%s\t%d\t%d\t%s\t*\tNM:i:%d\n",
+			qname, f2, rname2, pm.Mate2.Pos+1, cigar2, rnext2, pm.Mate1.Pos+1, tlen2, seq2, pm.Mate2.Distance); err != nil {
 			return err
 		}
 	}

@@ -16,7 +16,7 @@ func TestWriteSAMThreadsNames(t *testing.T) {
 	var buf bytes.Buffer
 	// Names with a description: QNAME is the id up to the first whitespace.
 	names := []string{"SRR001.1 descriptive text", "SRR001.2\ttabbed"}
-	if err := WriteSAM(&buf, "chr", 1000, names, reads, mappings); err != nil {
+	if err := WriteSAM(&buf, SingleContig("chr", make([]byte, 1000)), names, reads, mappings); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -32,7 +32,7 @@ func TestWriteSAMThreadsNames(t *testing.T) {
 
 	// Short or empty names fall back to read%d (simulated read sets).
 	buf.Reset()
-	if err := WriteSAM(&buf, "chr", 1000, []string{""}, reads, mappings); err != nil {
+	if err := WriteSAM(&buf, SingleContig("chr", make([]byte, 1000)), []string{""}, reads, mappings); err != nil {
 		t.Fatal(err)
 	}
 	out = buf.String()
@@ -67,7 +67,7 @@ func TestWritePairedSAMGolden(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	if err := WritePairedSAM(&buf, "chrT", 100, names, pairs, resolved); err != nil {
+	if err := WritePairedSAM(&buf, SingleContig("chrT", make([]byte, 100)), names, pairs, resolved); err != nil {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
@@ -90,7 +90,7 @@ func TestWritePairedSAMGolden(t *testing.T) {
 	}
 
 	// Dangling pair IDs are rejected, as WriteSAM rejects dangling reads.
-	if err := WritePairedSAM(&buf, "chrT", 100, nil, pairs, []PairMapping{{PairID: 7}}); err == nil {
+	if err := WritePairedSAM(&buf, SingleContig("chrT", make([]byte, 100)), nil, pairs, []PairMapping{{PairID: 7}}); err == nil {
 		t.Fatal("dangling pair ID accepted")
 	}
 }
@@ -107,7 +107,7 @@ func TestWritePairedSAMFlagInvariants(t *testing.T) {
 			Insert: 19,
 		}}
 		var buf bytes.Buffer
-		if err := WritePairedSAM(&buf, "c", 50, nil, pairs, resolved); err != nil {
+		if err := WritePairedSAM(&buf, SingleContig("c", make([]byte, 50)), nil, pairs, resolved); err != nil {
 			t.Fatal(err)
 		}
 		var flags []int

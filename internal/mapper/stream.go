@@ -114,7 +114,7 @@ func (m *Mapper) mapQueryStream(e int, feed func(ctx context.Context, out chan<-
 	}
 	totalStart := time.Now()
 	L := m.cfg.ReadLen
-	ref := m.idx.ref
+	ref := m.idx.seq
 
 	workers := m.cfg.StreamWorkers
 	if workers <= 0 {
@@ -183,13 +183,14 @@ func (m *Mapper) mapQueryStream(e int, feed func(ctx context.Context, out chan<-
 					undefCount.Add(1)
 				}
 				window := ref[j.pos : int(j.pos)+L]
+				ci, rel := m.ref.Locate(int(j.pos))
 				if m.cfg.Traceback {
 					if al, ok := align.Align(j.q.seq, window, e); ok {
-						local = append(local, Mapping{ReadID: j.q.readID, Pos: int(j.pos),
+						local = append(local, Mapping{ReadID: j.q.readID, Contig: ci, Pos: rel,
 							Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: j.q.reverse})
 					}
 				} else if d, ok := align.DistanceBanded(j.q.seq, window, e); ok {
-					local = append(local, Mapping{ReadID: j.q.readID, Pos: int(j.pos),
+					local = append(local, Mapping{ReadID: j.q.readID, Contig: ci, Pos: rel,
 						Distance: d, Reverse: j.q.reverse})
 				}
 				busy += time.Since(t0).Seconds()
