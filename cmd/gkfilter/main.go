@@ -194,7 +194,7 @@ func loadPairs(path string) (reads, refs [][]byte, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer fh.Close()
+	defer func() { _ = fh.Close() }() //gk:allow errcheck: read-only input; scan errors surface via the scanner
 	sc := bufio.NewScanner(fh)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	line := 0

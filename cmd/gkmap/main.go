@@ -126,7 +126,7 @@ func main() {
 			fatal(err)
 		}
 		recs, err := dna.ReadFASTA(rf)
-		rf.Close()
+		_ = rf.Close() //gk:allow errcheck: read-only input; read errors surface via ReadFASTA
 		if err != nil {
 			fatal(err)
 		}
@@ -342,11 +342,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer fh.Close()
 		if *paired {
 			err = mapper.WritePairedSAM(fh, ref, names, pairs, resolved)
 		} else {
 			err = mapper.WriteSAM(fh, ref, names, seqs, mappings)
+		}
+		// Close errors matter on a written artifact: the OS may defer the
+		// actual write until close.
+		if cerr := fh.Close(); err == nil {
+			err = cerr
 		}
 		if err != nil {
 			fatal(err)
@@ -374,7 +378,7 @@ func openFASTQ(path string) (*fastqSource, error) {
 	return &fastqSource{path: path, f: f, sc: dna.NewFASTQScanner(f)}, nil
 }
 
-func (s *fastqSource) close() { s.f.Close() }
+func (s *fastqSource) close() { _ = s.f.Close() } //gk:allow errcheck: read-only input; scan errors surface via peek/next
 
 // peek returns the next record without consuming it.
 func (s *fastqSource) peek() (dna.Record, bool, error) {

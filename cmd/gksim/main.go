@@ -50,7 +50,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer fh.Close()
+		defer func() {
+			// A written artifact: close errors are the last chance to hear
+			// about a failed flush.
+			if err := fh.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		w = fh
 	}
 
@@ -146,7 +152,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer fh2.Close()
+		defer func() {
+			if err := fh2.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		if err := dna.WriteFASTQ(fh2, r2); err != nil {
 			fatal(err)
 		}
@@ -195,7 +205,7 @@ func readSources(refFile string, length int, seed int64, n, minLen int) []readSo
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() //gk:allow errcheck: read-only input; read errors surface via ReadFASTA
 	recs, err := dna.ReadFASTA(f)
 	if err != nil {
 		fatal(err)

@@ -146,6 +146,8 @@ func OrInto(dst, a, b []uint64) {
 
 // extractEven compresses the 32 even-indexed bits of x (bits 0,2,4,...,62)
 // into the low 32 bits of the result, preserving order.
+//
+//gk:noalloc
 func extractEven(x uint64) uint64 {
 	x &= 0x5555555555555555
 	x = (x | x>>1) & 0x3333333333333333
@@ -161,6 +163,8 @@ func extractEven(x uint64) uint64 {
 // two bits encoding base i. lo carries bases 0-31 of the mask word, hi bases
 // 32-63. This is the single-word primitive behind Collapse, exposed for the
 // fused kernel loop.
+//
+//gk:noalloc
 func CollapsePair(lo, hi uint64) uint64 {
 	return extractEven(lo|lo>>1) | extractEven(hi|hi>>1)<<32
 }
@@ -380,6 +384,8 @@ func init() {
 // mask in 4-bit windows consulting a LUT with a one-bit carry (whether the
 // previous window ended inside a run). It must agree with CountRuns — the
 // property tests assert this for every input.
+//
+//gk:noalloc
 func CountRunsLUT(mask []uint64, n int) int {
 	total := 0
 	prev := 0
@@ -404,6 +410,8 @@ func CountRunsLUT(mask []uint64, n int) int {
 // contain at least one set bit — CountWindowsLUT's per-word kernel, exposed
 // for the fused filtration loop (a 64-bit word holds exactly 16 aligned
 // windows, so the whole-mask count is the sum of per-word counts).
+//
+//gk:noalloc
 func CountWindowsWord(w uint64) int {
 	t := w | w>>1
 	t |= t >> 2
@@ -418,6 +426,8 @@ func CountWindowsWord(w uint64) int {
 // one error each, while the dense 1-regions a dissimilar pair produces cost
 // ~n/4 errors — which is what keeps the filter discriminating at high
 // error thresholds (Section 5.1's "filtering still continues to serve").
+//
+//gk:noalloc
 func CountWindowsLUT(mask []uint64, n int) int {
 	total := 0
 	full := n / 64

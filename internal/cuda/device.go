@@ -119,14 +119,20 @@ func TeslaK20X() DeviceSpec {
 }
 
 // Cores returns the total CUDA core count.
+//
+//gk:noalloc
 func (s DeviceSpec) Cores() int { return s.SMCount * s.CoresPerSM }
 
 // SupportsPrefetch reports whether the device supports cudaMemAdvise and
 // cudaMemPrefetchAsync (compute capability 6.x or later with CUDA 8).
+//
+//gk:noalloc
 func (s DeviceSpec) SupportsPrefetch() bool { return s.ComputeMajor >= 6 }
 
 // PCIeBandwidth returns the effective host-device bandwidth in bytes/second,
 // assuming ~75% of the raw per-lane rate is achievable for bulk copies.
+//
+//gk:noalloc
 func (s DeviceSpec) PCIeBandwidth() float64 {
 	var perLaneGBs float64
 	switch s.PCIeGen {

@@ -9,9 +9,13 @@ type Workload struct {
 }
 
 // Words returns the encoded words per sequence (16 bases per 32-bit word).
+//
+//gk:noalloc
 func (w Workload) Words() int { return (w.ReadLen + 15) / 16 }
 
 // Masks returns the number of Hamming masks the kernel builds.
+//
+//gk:noalloc
 func (w Workload) Masks() int { return 2*w.E + 1 }
 
 // CostModel holds the calibration constants of the analytic performance
@@ -91,6 +95,8 @@ func DefaultCostModel() CostModel {
 
 // KernelSlotsPerPair returns the modelled core-cycle slots one filtration
 // occupies on the device.
+//
+//gk:noalloc
 func (m CostModel) KernelSlotsPerPair(w Workload) float64 {
 	slots := m.KernelBaseSlots + m.KernelSlotsPerWord*float64(w.Words()*w.Masks())
 	if w.DeviceEncoded {
@@ -102,6 +108,8 @@ func (m CostModel) KernelSlotsPerPair(w Workload) float64 {
 // KernelSeconds returns the modelled kernel time for the workload on one
 // device: slots / (cores x clock x architectural efficiency), plus the
 // page-fault stall factor when the device cannot prefetch.
+//
+//gk:noalloc
 func (m CostModel) KernelSeconds(spec DeviceSpec, w Workload) float64 {
 	slotRate := float64(spec.Cores()) * spec.ClockGHz * 1e9 * spec.EffFactor
 	t := float64(w.Pairs) * m.KernelSlotsPerPair(w) / slotRate
@@ -114,6 +122,8 @@ func (m CostModel) KernelSeconds(spec DeviceSpec, w Workload) float64 {
 // TransferBytes returns the host-to-device payload per pair: raw characters
 // on the device-encoded path (1 byte per base, read + reference segment),
 // packed words on the host-encoded path, plus the 8-byte result write-back.
+//
+//gk:noalloc
 func (w Workload) TransferBytes() int {
 	if w.DeviceEncoded {
 		return 2*w.ReadLen + 8
@@ -125,6 +135,8 @@ func (w Workload) TransferBytes() int {
 // prefetch support every page moves on demand, multiplying the effective
 // cost (FaultTransferFactor), which is the Setup 2 penalty the paper
 // attributes to the missing prefetch feature.
+//
+//gk:noalloc
 func (m CostModel) TransferSeconds(spec DeviceSpec, w Workload) float64 {
 	t := float64(w.Pairs) * float64(w.TransferBytes()) / spec.PCIeBandwidth()
 	if !spec.SupportsPrefetch() {
@@ -136,6 +148,8 @@ func (m CostModel) TransferSeconds(spec DeviceSpec, w Workload) float64 {
 // HostPrepSeconds returns the host-side preparation time for the batch:
 // filling raw buffers (device-encoded) or 2-bit packing (host-encoded).
 // hostFactor scales for the host CPU of the setup (1.0 for Setup 1).
+//
+//gk:noalloc
 func (m CostModel) HostPrepSeconds(w Workload, hostFactor float64) float64 {
 	perBase := m.HostEncodePerBase
 	if w.DeviceEncoded {
@@ -207,6 +221,8 @@ func (m CostModel) ShareFilterSeconds(spec DeviceSpec, share Workload, n int, ho
 // pairs/second for the workload shape (Pairs is ignored). Engines use it as
 // the weight of the multi-device split, so a Kepler card in a mixed context
 // receives proportionally fewer pairs than a Pascal card.
+//
+//gk:noalloc
 func (m CostModel) PairRate(spec DeviceSpec, w Workload) float64 {
 	one := w
 	one.Pairs = 1
@@ -219,6 +235,8 @@ func (m CostModel) PairRate(spec DeviceSpec, w Workload) float64 {
 
 // EncodePoolSpeedup returns the modelled speedup of spreading the host-side
 // 2-bit encode loop across a pool of workers.
+//
+//gk:noalloc
 func (m CostModel) EncodePoolSpeedup(workers int) float64 {
 	if workers <= 1 {
 		return 1
@@ -234,6 +252,8 @@ func (m CostModel) EncodePoolSpeedup(workers int) float64 {
 // charges. The launch and per-batch host synchronization overheads cannot be
 // hidden (the result decode is each batch's sync point) and are charged in
 // full, exactly as on the one-shot path.
+//
+//gk:noalloc
 func (m CostModel) PipelinedFilterSeconds(spec DeviceSpec, w Workload, encodeWorkers int, hostFactor float64) float64 {
 	prep := m.HostPrepSeconds(w, hostFactor) / m.EncodePoolSpeedup(encodeWorkers)
 	dev := m.TransferSeconds(spec, w) + m.KernelSeconds(spec, w)
@@ -266,6 +286,8 @@ func (m CostModel) CPUFilterSeconds(w Workload, cores int, cpuFactor float64) fl
 // which drives the power trace: longer reads process more words per thread
 // and push the device harder (Section 5.4.2: "the kernel tends to use more
 // power in longer sequences").
+//
+//gk:noalloc
 func (m CostModel) Utilization(spec DeviceSpec, w Workload) float64 {
 	l := float64(w.ReadLen)
 	if l > 250 {

@@ -48,12 +48,16 @@ func init() {
 }
 
 // Code returns the 2-bit code for base b and whether b is a recognized base.
+//
+//gk:noalloc
 func Code(b byte) (byte, bool) {
 	c := codeTable[b]
 	return c, c != 0xFF
 }
 
 // IsACGT reports whether b is one of the four recognized bases (either case).
+//
+//gk:noalloc
 func IsACGT(b byte) bool { return codeTable[b] != 0xFF }
 
 // HasN reports whether seq contains any unrecognized base call. Pairs with
@@ -68,6 +72,8 @@ func HasN(seq []byte) bool {
 }
 
 // WordsFor returns the number of 64-bit words needed to encode n bases.
+//
+//gk:noalloc
 func WordsFor(n int) int { return (n + BasesPerWord - 1) / BasesPerWord }
 
 // Encode packs seq into 2-bit codes, 32 bases per word. Base i occupies bits
@@ -104,6 +110,8 @@ func EncodeInto(words []uint64, seq []byte) error {
 // way — an unknown base ('N') is the routine undefined-pair case, not an
 // error worth constructing — and accumulates each 32-base window in a
 // register before the single word store.
+//
+//gk:noalloc
 func TryEncodeInto(words []uint64, seq []byte) int {
 	n := WordsFor(len(seq))
 	for wi := 0; wi < n; wi++ {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dna"
+	"repro/internal/lint"
 )
 
 // TestFilterEncodedZeroAllocs is the kernel hot-path guard: a filtration
@@ -13,6 +14,12 @@ import (
 // a single stray allocation multiplies by hundreds of millions at paper
 // scale.
 func TestFilterEncodedZeroAllocs(t *testing.T) {
+	// The runtime guard and the static analyzer must cover the same
+	// function: if FilterEncoded ever drops out of the noalloc registry,
+	// this test is guarding something gklint no longer checks.
+	if !lint.IsNoAlloc("repro/internal/filter", "Kernel.FilterEncoded") {
+		t.Fatal("Kernel.FilterEncoded is not in lint.NoAllocRegistry; static and runtime guards have drifted")
+	}
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; run without -race")
 	}
@@ -52,6 +59,9 @@ func TestFilterEncodedZeroAllocs(t *testing.T) {
 // TestFilterCheckedZeroAllocs guards the raw-byte path too (encode into the
 // kernel's scratch plus the fused filtration).
 func TestFilterCheckedZeroAllocs(t *testing.T) {
+	if !lint.IsNoAlloc("repro/internal/filter", "Kernel.FilterChecked") {
+		t.Fatal("Kernel.FilterChecked is not in lint.NoAllocRegistry; static and runtime guards have drifted")
+	}
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; run without -race")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/dna"
+	"repro/internal/metrics"
 )
 
 // Mode selects between the two GateKeeper algorithm variants the paper
@@ -140,7 +141,10 @@ func (k *Kernel) Mode() Mode { return k.mode }
 // skipped (the monotone early accept). On that path Estimate is the sealed
 // running count — still <= e, but an upper bound on the exact final
 // estimate; SetExactEstimate restores the exhaustive computation.
+//
+//gk:noalloc
 func (k *Kernel) FilterEncoded(readEnc, refEnc []uint64, e int) (estimate int, accept bool) {
+	metrics.Filtrations.Inc()
 	L := k.readLen
 	ew := k.encWords
 	mw := k.maskWords
@@ -189,6 +193,8 @@ func (k *Kernel) FilterEncoded(readEnc, refEnc []uint64, e int) (estimate int, a
 
 // windowEstimate is the windowed error count of the accumulated final mask
 // (its tail is always clear, so whole-word counting is exact).
+//
+//gk:noalloc
 func (k *Kernel) windowEstimate() int {
 	est := 0
 	for _, w := range k.final {
@@ -210,6 +216,8 @@ func (k *Kernel) windowEstimate() int {
 // three-word software pipeline provides: while word m is amended, word m+3's
 // raw form is produced, reproducing internal/ref32's whole-array passes
 // word by word.
+//
+//gk:noalloc
 func (k *Kernel) maskPass(re, fe []uint64, shift int, init bool) {
 	mw := k.maskWords
 	ew := k.encWords
@@ -370,6 +378,8 @@ func (k *Kernel) maskPass(re, fe []uint64, shift int, init bool) {
 }
 
 // countErrors applies the configured error counter.
+//
+//gk:noalloc
 func (k *Kernel) countErrors(mask []uint64, n int) int {
 	if k.ablate.CountRuns {
 		return bitvec.CountRunsLUT(mask, n)
@@ -392,13 +402,15 @@ func (k *Kernel) Filter(read, ref []byte, e int) Decision {
 
 // FilterChecked is Filter returning geometry violations as errors instead of
 // panicking.
+//
+//gk:noalloc
 func (k *Kernel) FilterChecked(read, ref []byte, e int) (Decision, error) {
 	if len(read) != k.readLen || len(ref) != k.readLen {
-		return Decision{}, fmt.Errorf("filter: kernel configured for length %d, got read=%d ref=%d",
+		return Decision{}, fmt.Errorf("filter: kernel configured for length %d, got read=%d ref=%d", //gk:allow noalloc: cold geometry-violation path
 			k.readLen, len(read), len(ref))
 	}
 	if e < 0 || e > k.maxE {
-		return Decision{}, fmt.Errorf("filter: error threshold %d outside configured [0,%d]", e, k.maxE)
+		return Decision{}, fmt.Errorf("filter: error threshold %d outside configured [0,%d]", e, k.maxE) //gk:allow noalloc: cold geometry-violation path
 	}
 	// Encoding doubles as the 'N' scan: an unrecognized base is exactly the
 	// undefined-pair condition, so the sequences are walked once, not twice,

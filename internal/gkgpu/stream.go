@@ -387,13 +387,13 @@ func streamWorker[T any](e *Engine, di int, st *deviceState, errThreshold int,
 				tallyBatch(e, st, di, b, ops.workload(len(b.items), errThreshold))
 			}
 			free <- wk.set
-			completed <- b
+			completed <- b //gk:allow streamsafe: the collector drains completed until every worker's launcherDone closes
 		}
 	}()
 	for b := range dispatch {
 		set := <-free
 		ops.encode(st, set, b.items)
-		ready <- work{set: set, b: b}
+		ready <- work{set: set, b: b} //gk:allow streamsafe: the launcher goroutine drains ready until this loop closes it
 	}
 	close(ready)
 	<-launcherDone
@@ -403,6 +403,8 @@ func streamWorker[T any](e *Engine, di int, st *deviceState, errThreshold int,
 // ran it; the collector commits them (and the device telemetry) only for
 // batches before any failure. The encode-pool width comes from the modelled
 // Setup, not the simulating machine, so the clocks are reproducible anywhere.
+//
+//gk:noalloc
 func tallyBatch[T any](e *Engine, st *deviceState, di int, b *streamBatch[T], w cuda.Workload) {
 	m := e.cfg.Model
 	encWorkers := e.cfg.Setup.EncodeWorkers
@@ -417,6 +419,7 @@ func tallyBatch[T any](e *Engine, st *deviceState, di int, b *streamBatch[T], w 
 	b.util = m.Utilization(st.dev.Spec, w)
 }
 
+//gk:noalloc
 func maxFloat(xs []float64) float64 {
 	max := 0.0
 	for _, x := range xs {

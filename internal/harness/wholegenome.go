@@ -152,7 +152,7 @@ func runMultiContig(o Options) error {
 	total := ref.Len()
 	for ci, c := range ref.Contigs() {
 		n := nReads * c.Len / total
-		reads, err := simdata.SimulateReads(ref.Seq()[c.Off:c.End()], profile, n, o.Seed+10+int64(ci))
+		reads, err := simdata.SimulateReads(ref.ContigSeq(ci), profile, n, o.Seed+10+int64(ci))
 		if err != nil {
 			return err
 		}
@@ -163,7 +163,7 @@ func runMultiContig(o Options) error {
 	}
 	firstJunction := len(seqs)
 	for ci := 0; ci+1 < ref.NumContigs(); ci++ {
-		end := ref.Contig(ci).End()
+		end := ref.Contig(ci).End() //gk:allow coordsafe: deliberately builds a junction-straddling read in global coordinates
 		seqs = append(seqs, append([]byte(nil), ref.Seq()[end-profile.Length/2:end+profile.Length/2]...))
 		truth = append(truth, origin{contig: -1})
 	}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is errcheck-lite: no discarded error returns. A call whose error
+// result is dropped on the floor — as a bare expression statement, behind a
+// deferred cleanup, or assigned to _ — is a finding unless the discard is
+// the sanctioned form: an explicit _ assignment justified by //gk:allow
+// errcheck.
+//
+// "Lite" is a small idiom whitelist instead of a config file:
+//
+//   - fmt.Print/Printf/Println (terminal output; nothing actionable on
+//     failure), and fmt.Fprint* when the writer is os.Stdout/os.Stderr, an
+//     interface-typed io.Writer (the harness's best-effort report
+//     rendering), or one of the sticky/infallible writers below — writes
+//     straight to a concrete *os.File stay findings
+//   - methods on strings.Builder and bytes.Buffer (documented never to fail)
+//   - bufio.Writer's Write* methods — its errors are sticky and must be
+//     checked exactly once, at Flush; Flush itself is therefore NOT
+//     whitelisted
+type ErrCheck struct{}
+
+// NewErrCheck returns the analyzer.
+func NewErrCheck() *ErrCheck { return &ErrCheck{} }
+
+// Name implements Analyzer.
+func (a *ErrCheck) Name() string { return "errcheck" }
+
+// Check implements Analyzer.
+func (a *ErrCheck) Check(c *Context) {
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					a.checkDiscard(c, call, "")
+				}
+			case *ast.DeferStmt:
+				a.checkDiscard(c, n.Call, "deferred ")
+			case *ast.GoStmt:
+				a.checkDiscard(c, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				a.checkBlank(c, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscard flags a call statement whose error result vanishes.
+func (a *ErrCheck) checkDiscard(c *Context, call *ast.CallExpr, how string) {
+	info := c.Pkg.Info
+	if !returnsError(info, call) || a.whitelisted(c, call) {
+		return
+	}
+	name := calleeName(info, call)
+	c.Reportf("errcheck", call.Pos(), "%serror result of %s discarded; handle it or discard explicitly with _ = and //gk:allow errcheck", how, name)
+}
+
+// checkBlank flags error results assigned to _.
+func (a *ErrCheck) checkBlank(c *Context, as *ast.AssignStmt) {
+	info := c.Pkg.Info
+	// x, _ := f()  — single multi-value call on the right.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := info.TypeOf(call).(*types.Tuple)
+		if !ok || a.whitelisted(c, call) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i >= tuple.Len() {
+				break
+			}
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				c.Reportf("errcheck", lhs.Pos(), "error result of %s discarded into _; justify with //gk:allow errcheck", calleeName(info, call))
+			}
+		}
+		return
+	}
+	// _ = expr — element-wise.
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || !isErrorType(info.TypeOf(as.Rhs[i])) {
+			continue
+		}
+		name := "expression"
+		if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+			if a.whitelisted(c, call) {
+				continue
+			}
+			name = calleeName(info, call)
+		}
+		c.Reportf("errcheck", lhs.Pos(), "error result of %s discarded into _; justify with //gk:allow errcheck", name)
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isErrorType(t)
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// whitelisted implements the lite idiom list.
+func (a *ErrCheck) whitelisted(c *Context, call *ast.CallExpr) bool {
+	info := c.Pkg.Info
+	obj, ok := callee(info, call).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	pkg, name := obj.Pkg().Path(), obj.Name()
+
+	sig := obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		switch namedOf(recv.Type()) {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		case "bufio.Writer":
+			return name != "Flush" // sticky errors surface at Flush
+		}
+		return false
+	}
+
+	if pkg == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && errorFreeWriter(info, call.Args[0])
+		}
+	}
+	return false
+}
+
+// errorFreeWriter reports whether formatted output to w needs no error
+// check: a std stream, an abstract io.Writer (best-effort rendering — the
+// concrete writers that matter are checked at Flush/Close), or a writer
+// whose errors are sticky or impossible.
+func errorFreeWriter(info *types.Info, w ast.Expr) bool {
+	if isStdStream(info, w) {
+		return true
+	}
+	t := info.TypeOf(w)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return true
+	}
+	switch namedOf(t) {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer":
+		return true
+	}
+	return false
+}
+
+// namedOf renders the pointer-stripped named type as pkgpath.Name.
+func namedOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// isStdStream matches os.Stdout / os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if obj, ok := callee(info, call).(*types.Func); ok {
+		return FuncKey(obj)
+	}
+	return "call"
+}

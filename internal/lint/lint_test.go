@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden harness: each testdata package encodes its expected
+// diagnostics as want comments — `// want "substr"` expects a diagnostic on
+// that line whose message contains the substring, several quoted substrings
+// expect several diagnostics, and `// want+N` shifts the expectation N
+// lines down (for diagnostics on comment-only lines, where the marker
+// itself would collide with the construct under test). The test fails in
+// both directions: a missing diagnostic and an unexpected one are both
+// errors, so the testdata pins each analyzer rule exactly.
+
+var (
+	wantRe   = regexp.MustCompile(`// want([+-]\d+)?\s+(.+)$`)
+	quotedRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func parseWants(t *testing.T, dir string) map[wantKey][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	wants := map[wantKey][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("reading %s: %v", e.Name(), err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want")
+			if idx < 0 {
+				continue
+			}
+			m := wantRe.FindStringSubmatch(line[idx:])
+			if m == nil {
+				t.Fatalf("%s:%d: malformed want comment: %s", e.Name(), i+1, line)
+			}
+			offset := 0
+			if m[1] != "" {
+				offset, _ = strconv.Atoi(m[1])
+			}
+			subs := quotedRe.FindAllStringSubmatch(m[2], -1)
+			if len(subs) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted substrings", e.Name(), i+1)
+			}
+			k := wantKey{file: e.Name(), line: i + 1 + offset}
+			for _, s := range subs {
+				wants[k] = append(wants[k], s[1])
+			}
+		}
+	}
+	return wants
+}
+
+func runGolden(t *testing.T, name string, cfg Config) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	m, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := parseWants(t, dir)
+	for _, d := range Run(m, cfg) {
+		k := wantKey{file: filepath.Base(d.Position.Filename), line: d.Position.Line}
+		hit := -1
+		for i, s := range wants[k] {
+			if strings.Contains(d.Message, s) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:hit], wants[k][hit+1:]...)
+	}
+	for k, subs := range wants {
+		for _, s := range subs {
+			t.Errorf("%s:%d: expected a diagnostic containing %q, got none", k.file, k.line, s)
+		}
+	}
+}
+
+func TestNoAllocGolden(t *testing.T) {
+	runGolden(t, "noalloc", Config{
+		Analyzers:          []Analyzer{NewNoAlloc()},
+		ReportUnusedAllows: true,
+	})
+}
+
+func TestCoordSafeGolden(t *testing.T) {
+	// The testdata package mirrors the mapper's types under its own path,
+	// so rule 2 (narrowing casts) is re-scoped to it; the receiver and
+	// constructor whitelists are name-based and carry over unchanged.
+	a := NewCoordSafe()
+	a.NarrowPkgs = map[string]bool{"coordsafe": true}
+	runGolden(t, "coordsafe", Config{
+		Analyzers:          []Analyzer{a},
+		ReportUnusedAllows: true,
+	})
+}
+
+func TestStreamSafeGolden(t *testing.T) {
+	a := NewStreamSafe()
+	a.Packages = map[string]bool{"streamsafe": true}
+	runGolden(t, "streamsafe", Config{
+		Analyzers:          []Analyzer{a},
+		ReportUnusedAllows: true,
+	})
+}
+
+func TestErrCheckGolden(t *testing.T) {
+	runGolden(t, "errcheck", Config{
+		Analyzers:          []Analyzer{NewErrCheck()},
+		ReportUnusedAllows: true,
+	})
+}
+
+// TestRepoIsLintClean is the self-test: gklint over this repository, with
+// the registry cross-check and stale-suppression reporting on, must find
+// nothing. This is exactly what cmd/gklint runs in CI.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("source-importer module load is slow; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(m, Config{
+		Analyzers:          DefaultAnalyzers(),
+		CheckRegistry:      true,
+		ReportUnusedAllows: true,
+	})
+	for _, d := range diags {
+		t.Errorf("gklint finding: %s", d)
+	}
+}
+
+// TestNoAllocRegistry pins the registry lookup helpers the runtime alloc
+// guards depend on.
+func TestNoAllocRegistry(t *testing.T) {
+	if !IsNoAlloc("repro/internal/filter", "Kernel.FilterEncoded") {
+		t.Error("Kernel.FilterEncoded missing from NoAllocRegistry")
+	}
+	if !IsNoAlloc("repro/internal/mapper", "Index.Lookup") {
+		t.Error("Index.Lookup missing from NoAllocRegistry")
+	}
+	if IsNoAlloc("repro/internal/filter", "Kernel.NoSuchMethod") {
+		t.Error("IsNoAlloc reports an unregistered function as registered")
+	}
+	if got, want := len(NoAllocSet()), len(NoAllocRegistry); got != want {
+		t.Errorf("NoAllocRegistry has duplicate entries: set %d, list %d", got, want)
+	}
+}

@@ -1,0 +1,87 @@
+package lint
+
+// NoAllocRegistry is the canonical list of hot-path functions that carry a
+// //gk:noalloc annotation — the single source of truth shared by the static
+// analyzer and the runtime AllocsPerRun guards. gklint fails if the
+// annotations in the tree and this list ever differ (in either direction),
+// and the alloc tests (internal/filter/alloc_test.go,
+// internal/mapper/index_test.go) assert that the functions they exercise are
+// registered here, so the static and runtime checks cannot drift apart.
+//
+// Keys are FuncKey form: pkgpath.Func, or pkgpath.Recv.Method with the
+// receiver's pointer stripped.
+var NoAllocRegistry = []string{
+	// The fused 64-bit kernel: one filtration end to end.
+	"repro/internal/filter.Kernel.FilterEncoded",
+	"repro/internal/filter.Kernel.FilterChecked",
+	"repro/internal/filter.Kernel.maskPass",
+	"repro/internal/filter.Kernel.windowEstimate",
+	"repro/internal/filter.Kernel.countErrors",
+
+	// Bit-vector primitives the kernel leans on.
+	"repro/internal/bitvec.extractEven",
+	"repro/internal/bitvec.CollapsePair",
+	"repro/internal/bitvec.CountWindowsWord",
+	"repro/internal/bitvec.CountWindowsLUT",
+	"repro/internal/bitvec.CountRunsLUT",
+
+	// The 2-bit codec's hot-path forms.
+	"repro/internal/dna.Code",
+	"repro/internal/dna.IsACGT",
+	"repro/internal/dna.WordsFor",
+	"repro/internal/dna.TryEncodeInto",
+
+	// CSR seed index lookup and the contig-coordinate accessors every
+	// candidate's boundary check goes through.
+	"repro/internal/mapper.Index.Lookup",
+	"repro/internal/mapper.Contig.End",
+	"repro/internal/mapper.Reference.ContigOf",
+	"repro/internal/mapper.Reference.Locate",
+	"repro/internal/mapper.Reference.WindowContig",
+
+	// The streaming pipeline's steady-state per-batch accounting: runStream
+	// recycles batches through a pool, and these are the helpers that run
+	// once per batch after warm-up.
+	"repro/internal/gkgpu.tallyBatch",
+	"repro/internal/gkgpu.maxFloat",
+
+	// The cost-model arithmetic tallyBatch evaluates per batch, plus the
+	// workload/device accessors it leans on.
+	"repro/internal/cuda.Workload.Words",
+	"repro/internal/cuda.Workload.Masks",
+	"repro/internal/cuda.Workload.TransferBytes",
+	"repro/internal/cuda.DeviceSpec.Cores",
+	"repro/internal/cuda.DeviceSpec.SupportsPrefetch",
+	"repro/internal/cuda.DeviceSpec.PCIeBandwidth",
+	"repro/internal/cuda.CostModel.KernelSlotsPerPair",
+	"repro/internal/cuda.CostModel.KernelSeconds",
+	"repro/internal/cuda.CostModel.TransferSeconds",
+	"repro/internal/cuda.CostModel.HostPrepSeconds",
+	"repro/internal/cuda.CostModel.EncodePoolSpeedup",
+	"repro/internal/cuda.CostModel.PipelinedFilterSeconds",
+	"repro/internal/cuda.CostModel.Utilization",
+	"repro/internal/cuda.CostModel.PairRate",
+
+	// Hot-path entry-point counters (instrumentation must not re-introduce
+	// allocation on the paths it observes).
+	"repro/internal/metrics.Counter.Inc",
+	"repro/internal/metrics.Counter.Add",
+	"repro/internal/metrics.Counter.Load",
+}
+
+// NoAllocSet returns the registry as a set.
+func NoAllocSet() map[string]bool {
+	s := make(map[string]bool, len(NoAllocRegistry))
+	for _, k := range NoAllocRegistry {
+		s[k] = true
+	}
+	return s
+}
+
+// IsNoAlloc reports whether pkgpath-qualified function fn (FuncKey form
+// without the package prefix, e.g. "Kernel.FilterEncoded") is registered as
+// a noalloc hot path. The runtime AllocsPerRun guards call this so a guard
+// cannot silently test a function the static analyzer stopped covering.
+func IsNoAlloc(pkgPath, fn string) bool {
+	return NoAllocSet()[pkgPath+"."+fn]
+}

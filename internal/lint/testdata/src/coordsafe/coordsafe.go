@@ -1,0 +1,79 @@
+// Package coordsafe is gklint analyzer testdata mirroring the mapper's
+// coordinate types: Contig carries a global Off/End, Mapping a
+// contig-relative Pos, and the Reference methods plus the NewReference
+// constructor are the whitelisted home of global-offset arithmetic.
+package coordsafe
+
+// Contig mirrors mapper.Contig.
+type Contig struct {
+	Name string
+	Off  int
+	Len  int
+}
+
+// End mirrors mapper.Contig.End.
+func (c Contig) End() int { return c.Off + c.Len }
+
+// Reference mirrors mapper.Reference; its methods are whitelisted.
+type Reference struct {
+	seq     []byte
+	contigs []Contig
+}
+
+// ContigOf may touch Off/End freely: it is the accessor.
+func (r *Reference) ContigOf(pos int) int {
+	for i, c := range r.contigs {
+		if pos >= c.Off && pos < c.End() {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewReference is a whitelisted constructor.
+func NewReference(seqs [][]byte) *Reference {
+	r := &Reference{}
+	for _, s := range seqs {
+		r.contigs = append(r.contigs, Contig{Off: len(r.seq), Len: len(s)})
+		r.seq = append(r.seq, s...)
+	}
+	return r
+}
+
+// Mapping mirrors mapper.Mapping: Pos is contig-relative.
+type Mapping struct {
+	Contig int
+	Pos    int
+}
+
+func cleanRelative(m Mapping) int {
+	return m.Pos + 5 // relative-only arithmetic is fine
+}
+
+func cleanConstNarrow() int32 {
+	return int32(42) // constant conversions are fine
+}
+
+func allowedNarrow(pos int) int32 {
+	return int32(pos) //gk:allow coordsafe: testdata justified narrowing
+}
+
+func badOffsetRead(c Contig) int {
+	return c.Off // want "direct read of Contig.Off"
+}
+
+func badEnd(c Contig) int {
+	return c.End() // want "Contig.End() outside"
+}
+
+func badNarrowInt(pos int) int32 {
+	return int32(pos) // want "narrowing cast int32"
+}
+
+func badNarrowUint(pos int64) uint32 {
+	return uint32(pos) // want "narrowing cast uint32"
+}
+
+func badMix(m Mapping, c Contig) bool {
+	return m.Pos < c.Off // want "mixes a contig-relative Pos" "direct read of Contig.Off"
+}

@@ -1,0 +1,62 @@
+// Package errcheck is gklint analyzer testdata: discarded error returns are
+// findings unless explicitly discarded with _ = and a //gk:allow, or
+// covered by the small idiom whitelist.
+package errcheck
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("x") }
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func allowedBlank() {
+	_ = mayFail() //gk:allow errcheck: testdata sanctioned discard
+}
+
+func cleanPrints(w *strings.Builder) {
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "ok")
+	fmt.Fprintf(w, "ok")
+	w.WriteString("ok")
+}
+
+func cleanStickyWrites(bw *bufio.Writer) error {
+	bw.WriteByte('x') // clean: bufio errors are sticky until Flush
+	return bw.Flush()
+}
+
+func badDiscard() {
+	mayFail() // want "error result of errcheck.mayFail discarded"
+}
+
+func badDefer(f *os.File) {
+	defer f.Close() // want "deferred error result of os.File.Close discarded"
+}
+
+func badGo() {
+	go mayFail() // want "spawned error result"
+}
+
+func badBlank() {
+	_ = mayFail() // want "discarded into _"
+}
+
+func badMulti() {
+	f, _ := os.Open("x") // want "discarded into _"
+	_ = f
+}
+
+func badFlush(bw *bufio.Writer) {
+	bw.Flush() // want "error result of bufio.Writer.Flush discarded"
+}

@@ -1,0 +1,168 @@
+// Package noalloc is gklint analyzer testdata: every line carrying a want
+// comment must produce a diagnostic containing each quoted substring
+// (want+1 refers to the next line), and every unmarked line must stay
+// clean. The golden test fails in both directions, so deleting a rule from
+// the analyzer breaks this package.
+package noalloc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+func helper() int { return 1 }
+
+// pure is annotated and allocation-free: loops, arithmetic, and whitelisted
+// std calls are fine.
+//
+//gk:noalloc
+func pure(xs []uint64) int {
+	n := 0
+	for _, x := range xs {
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
+// callsPure may call other annotated functions.
+//
+//gk:noalloc
+func callsPure(xs []uint64) int { return pure(xs) }
+
+// inlineClosure binds closures to locals used only in call position — the
+// fused-kernel pattern — which is allowed and analyzed inline.
+//
+//gk:noalloc
+func inlineClosure(xs []uint64) uint64 {
+	at := func(i int) uint64 { return xs[i] }
+	return at(0) + at(1)
+}
+
+// allowedCold uses the sanctioned suppression for a cold path.
+//
+//gk:noalloc
+func allowedCold(n int) []int {
+	return make([]int, n) //gk:allow noalloc: testdata cold path
+}
+
+//gk:noalloc
+func badMake(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//gk:noalloc
+func badNew() *int {
+	return new(int) // want "new allocates"
+}
+
+//gk:noalloc
+func badAppend(xs []int) []int {
+	return append(xs, 1) // want "append may grow"
+}
+
+//gk:noalloc
+func badSliceLit() []int {
+	return []int{1, 2} // want "slice literal allocates"
+}
+
+//gk:noalloc
+func badMapLit() map[int]int {
+	return map[int]int{} // want "map literal allocates"
+}
+
+//gk:noalloc
+func badMapWrite(m map[int]int) {
+	m[1] = 2 // want "map write may grow"
+}
+
+//gk:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//gk:noalloc
+func badStringConv(b []byte) string {
+	return string(b) // want "conversion to string allocates"
+}
+
+//gk:noalloc
+func badBytesConv(s string) []byte {
+	return []byte(s) // want "string-to-slice conversion allocates"
+}
+
+//gk:noalloc
+func badBoxReturn(x int) any {
+	return x // want "boxes into an interface"
+}
+
+//gk:noalloc
+func sink(v any) { _ = v }
+
+//gk:noalloc
+func badBoxArg(x int) {
+	sink(x) // want "boxes into an interface"
+}
+
+//gk:noalloc
+func badUnannotatedCall() int {
+	return helper() // want "not //gk:noalloc"
+}
+
+//gk:noalloc
+func badStdCall(s string) int {
+	return len(fmt.Sprint(s)) // want "assumed to allocate"
+}
+
+//gk:noalloc
+func variadicCallee(xs ...int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+//gk:noalloc
+func badVariadic() int {
+	return variadicCallee(1, 2, 3) // want "variadic call allocates"
+}
+
+//gk:noalloc
+func badGo() {
+	go helper() // want "go statement" "not //gk:noalloc"
+}
+
+//gk:noalloc
+func badDefer() {
+	defer helper() // want "defer in noalloc" "not //gk:noalloc"
+}
+
+//gk:noalloc
+func badEscape() func() int {
+	f := func() int { return 2 } // want "may escape"
+	return f
+}
+
+type ifc interface{ M() }
+
+//gk:noalloc
+func badDynamic(v ifc) {
+	v.M() // want "dynamic interface call"
+}
+
+//gk:noalloc
+func badFuncValue(f func() int) int {
+	return f() // want "call through a function value"
+}
+
+func malformedMarkers() {
+	// want+1 "binds to nothing"
+	//gk:noalloc
+	// want+1 "unknown analyzer"
+	x := 0 //gk:allow nosuchthing: because
+	// want+1 "needs a justification"
+	y := 0 //gk:allow noalloc
+	// want+1 "unused //gk:allow"
+	z := 0 //gk:allow noalloc: nothing here is flagged
+	_, _, _ = x, y, z
+}

@@ -1,0 +1,70 @@
+// Package streamsafe is gklint analyzer testdata: sends must sit under a
+// select with a done/drain arm or target a locally bounded buffered
+// channel, and WaitGroup.Add must not run inside the goroutine it accounts
+// for.
+package streamsafe
+
+import "sync"
+
+func guardedSend(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case ch <- 1: // clean: the done arm lets the sender exit
+		case <-done:
+		}
+	}()
+	<-done
+}
+
+func defaultSend(ch chan int) {
+	select {
+	case ch <- 1: // clean: default arm, non-blocking
+	default:
+	}
+}
+
+func bufferedLocal() {
+	ch := make(chan int, 4)
+	go func() {
+		ch <- 1 // clean: locally bounded buffered channel
+	}()
+	<-ch
+}
+
+func allowedDrain(ch chan int) {
+	ch <- 1 //gk:allow streamsafe: testdata drain guarantee
+}
+
+func badBareSend(ch chan int) {
+	ch <- 1 // want "channel send outside a select"
+}
+
+func badUnbuffered() {
+	ch := make(chan int)
+	go func() { <-ch }()
+	ch <- 1 // want "channel send outside a select"
+}
+
+func badSelectNoDrain(a, b chan int) {
+	select {
+	case a <- 1: // want "channel send outside a select"
+	case b <- 2: // want "channel send outside a select"
+	}
+}
+
+func badWaitGroupAdd(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want "WaitGroup.Add inside the spawned goroutine"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func cleanWaitGroup(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	wg.Wait()
+}

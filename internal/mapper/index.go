@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"repro/internal/dna"
+	"repro/internal/metrics"
 )
 
 // Index is a k-mer index over a (multi-contig) reference in CSR (compressed
@@ -132,7 +133,7 @@ func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 		n := 0
 		for _, c := range contigs[sh.lo:sh.hi] {
 			valid := 0
-			for _, b := range r.seq[c.Off:c.End()] {
+			for _, b := range r.seq[c.Off:c.End()] { //gk:allow coordsafe: index build walks global coordinates by design
 				if !dna.IsACGT(b) {
 					valid = 0
 					continue
@@ -275,7 +276,7 @@ func (x *Index) countShard(contigs []Contig, counts []uint32) {
 	for _, c := range contigs {
 		var key uint32
 		valid := 0
-		for _, b := range x.seq[c.Off:c.End()] {
+		for _, b := range x.seq[c.Off:c.End()] { //gk:allow coordsafe: index build walks global coordinates by design
 			code, ok := dna.Code(b)
 			if !ok {
 				valid = 0
@@ -300,7 +301,7 @@ func (x *Index) placeShard(contigs []Contig, cursor []uint32) {
 	for _, c := range contigs {
 		var key uint32
 		valid := 0
-		for i := c.Off; i < c.End(); i++ {
+		for i := c.Off; i < c.End(); i++ { //gk:allow coordsafe: index build walks global coordinates by design
 			code, ok := dna.Code(x.seq[i])
 			if !ok {
 				valid = 0
@@ -313,7 +314,7 @@ func (x *Index) placeShard(contigs []Contig, cursor []uint32) {
 				bk := key >> shift
 				cu := cursor[bk]
 				x.keys[cu] = key
-				x.pos[cu] = int32(i - k + 1)
+				x.pos[cu] = int32(i - k + 1) //gk:allow coordsafe: i < Len, and NewIndex rejects references beyond MaxInt32
 				cursor[bk] = cu + 1
 			}
 		}
@@ -457,7 +458,10 @@ func (x *Index) Reference() *Reference { return x.ref }
 // slice is a view into the index's positions array — ascending, read-only,
 // and produced without allocating. Positions address the concatenated
 // sequence; every hit's k-window lies wholly inside one contig.
+//
+//gk:noalloc
 func (x *Index) Lookup(seed []byte) []int32 {
+	metrics.SeedLookups.Inc()
 	if len(seed) != x.k {
 		return nil
 	}

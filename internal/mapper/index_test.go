@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dna"
+	"repro/internal/lint"
 )
 
 // mapOracle is the seed implementation's map layout, kept as the oracle the
@@ -175,6 +176,10 @@ func TestIndexLookupWrongLength(t *testing.T) {
 // TestIndexLookupZeroAllocs is the CSR hot-path guard: a Lookup, hit or
 // miss, must not allocate.
 func TestIndexLookupZeroAllocs(t *testing.T) {
+	// Runtime guard and static analyzer must cover the same function.
+	if !lint.IsNoAlloc("repro/internal/mapper", "Index.Lookup") {
+		t.Fatal("Index.Lookup is not in lint.NoAllocRegistry; static and runtime guards have drifted")
+	}
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; run without -race")
 	}

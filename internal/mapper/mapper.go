@@ -217,7 +217,6 @@ func (m *Mapper) candidates(read []byte, e int) []int32 {
 	if nSeeds < 1 {
 		nSeeds = 1
 	}
-	contigs := m.ref.Contigs()
 	var out []int32
 	for s := 0; s < nSeeds; s++ {
 		var off int
@@ -227,11 +226,11 @@ func (m *Mapper) candidates(read []byte, e int) []int32 {
 			off = s * (L - k) / (nSeeds - 1)
 		}
 		for _, hit := range m.idx.Lookup(read[off : off+k]) {
-			pos := hit - int32(off)
+			pos := hit - int32(off) //gk:allow coordsafe: off < ReadLen; index positions are int32-guarded at build (NewIndex caps Len at MaxInt32)
 			// The hit's k-window is inside one contig by construction; the
-			// proposed read window must be too.
-			c := contigs[m.ref.ContigOf(int(hit))]
-			if int(pos) < c.Off || int(pos)+L > c.End() {
+			// proposed read window must be too — WindowContig rejects
+			// windows out of range or straddling a contig boundary.
+			if m.ref.WindowContig(int(pos), L) < 0 {
 				continue
 			}
 			out = append(out, pos)
@@ -329,7 +328,7 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 			filtStart := time.Now()
 			gcands := make([]gkgpu.Candidate, len(cands))
 			for i, c := range cands {
-				gcands[i] = gkgpu.Candidate{ReadID: int32(c.query), Pos: c.pos}
+				gcands[i] = gkgpu.Candidate{ReadID: int32(c.query), Pos: c.pos} //gk:allow coordsafe: query indexes a batch, far below int32
 			}
 			res, err := m.candFilter.FilterCandidates(batch, gcands, e)
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/dna"
+	"repro/internal/metrics"
 )
 
 // Contig is one named sequence of a multi-contig reference: a chromosome,
@@ -18,6 +19,8 @@ type Contig struct {
 }
 
 // End returns the offset one past the contig's last base.
+//
+//gk:noalloc
 func (c Contig) End() int { return c.Off + c.Len }
 
 // Reference is a multi-contig reference genome: the contigs' bases
@@ -100,9 +103,19 @@ func (r *Reference) Contigs() []Contig { return r.contigs }
 // Contig returns contig i.
 func (r *Reference) Contig(i int) Contig { return r.contigs[i] }
 
+// ContigSeq returns contig i's bases as a subslice of the concatenated
+// sequence — the sanctioned way to walk one contig without touching global
+// offsets.
+func (r *Reference) ContigSeq(i int) []byte {
+	c := r.contigs[i]
+	return r.seq[c.Off:c.End()]
+}
+
 // ContigOf returns the index of the contig containing concatenated position
 // pos, or -1 when pos is outside the reference. Allocation-free (hot path:
 // every candidate's boundary check goes through here).
+//
+//gk:noalloc
 func (r *Reference) ContigOf(pos int) int {
 	if pos < 0 || pos >= len(r.seq) {
 		return -1
@@ -125,10 +138,13 @@ func (r *Reference) ContigOf(pos int) int {
 
 // Locate translates a concatenated position into (contig index,
 // contig-relative position). pos must be inside the reference.
+//
+//gk:noalloc
 func (r *Reference) Locate(pos int) (contig, rel int) {
+	metrics.ContigLocates.Inc()
 	c := r.ContigOf(pos)
 	if c < 0 {
-		panic(fmt.Sprintf("mapper: position %d outside reference of length %d", pos, len(r.seq)))
+		panic(fmt.Sprintf("mapper: position %d outside reference of length %d", pos, len(r.seq))) //gk:allow noalloc: cold panic path, unreachable for in-range positions
 	}
 	return c, pos - r.contigs[c].Off
 }
@@ -137,6 +153,8 @@ func (r *Reference) Locate(pos int) (contig, rel int) {
 // starting at concatenated position pos, or -1 when the window is out of
 // range or straddles a contig boundary — the check that keeps cross-boundary
 // candidates out of verification.
+//
+//gk:noalloc
 func (r *Reference) WindowContig(pos, n int) int {
 	c := r.ContigOf(pos)
 	if c < 0 || pos+n > r.contigs[c].End() {

@@ -1,0 +1,40 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event counter safe for concurrent
+// use on the hot paths gklint guards: its methods are annotated
+// //gk:noalloc, so instrumentation can never re-introduce allocation on the
+// paths it observes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//gk:noalloc
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//gk:noalloc
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+//
+//gk:noalloc
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter (test and per-run bookkeeping only; not a hot
+// path).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Package-level counters for the gklint-guarded hot-path entry points. They
+// count work items, not wall time: one Filtrations per kernel invocation,
+// one SeedLookups per k-mer probe of the CSR index, one ContigLocates per
+// global-to-contig coordinate translation.
+var (
+	Filtrations   Counter
+	SeedLookups   Counter
+	ContigLocates Counter
+)
