@@ -9,6 +9,7 @@
 //	gkbench -exp table2 -scale 5  # 5x the default workload sizes
 //	gkbench -stream               # one-shot vs streaming pipeline comparison
 //	gkbench -json                 # write a BENCH_<stamp>.json perf baseline
+//	gkbench -json -baseline FILE  # ...and compare against an older capture
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 		stream   = flag.Bool("stream", false, "run the streaming-pipeline comparison (shorthand for -exp pipeline)")
 		jsonOut  = flag.Bool("json", false, "run the kernel/filter/index micro-benchmarks and write BENCH_<stamp>.json")
 		jsonDir  = flag.String("json-dir", ".", "directory for the -json baseline file")
+		baseline = flag.String("baseline", "", "older BENCH_<stamp>.json to compare the -json capture against")
 		benchTag = flag.String("label", "", "free-form label recorded in the -json baseline")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = quick laptop sizes)")
 		seed     = flag.Int64("seed", 42, "dataset generation seed")
@@ -48,11 +50,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gkbench: -json ignores -scale/-seed; its workloads are fixed so baselines stay comparable")
 			os.Exit(2)
 		}
-		if _, err := harness.RunBenchJSON(*jsonDir, *benchTag, os.Stdout); err != nil {
+		path, err := harness.RunBenchJSON(*jsonDir, *benchTag, os.Stdout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "gkbench: %v\n", err)
 			os.Exit(1)
 		}
+		if *baseline != "" {
+			old, err := harness.LoadBenchReport(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gkbench: %v\n", err)
+				os.Exit(1)
+			}
+			cur, err := harness.LoadBenchReport(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gkbench: %v\n", err)
+				os.Exit(1)
+			}
+			harness.CompareBench(old, cur, os.Stdout)
+		}
 		return
+	}
+	if *baseline != "" {
+		fmt.Fprintln(os.Stderr, "gkbench: -baseline requires -json")
+		os.Exit(2)
 	}
 	opts := harness.Options{Out: os.Stdout, Scale: *scale, Seed: *seed}
 	if *stream && (*all || *exp != "") {

@@ -75,6 +75,7 @@ func main() {
 		insStd    = flag.Int("insert-std", 40, "simulated fragment length std dev (-paired -sim only; never a window default)")
 		insMin    = flag.Int("insert-min", 0, "insert window minimum (0 = estimate this bound from the data)")
 		insMax    = flag.Int("insert-max", 0, "insert window maximum (0 = estimate this bound from the data)")
+		showMet   = flag.Bool("metrics", false, "print the internal hot-path counters (filtrations, seed lookups, contig locates)")
 	)
 	flag.Parse()
 
@@ -317,6 +318,12 @@ func main() {
 			}
 			fmt.Printf("  %-16s len %-10d %s %s\n", c.Name, c.Len, what, metrics.FmtInt(perContig[i]))
 		}
+	}
+	if *showMet {
+		// The process-wide hot-path counters: one line, so the parallel
+		// pipeline's actual work volume is observable next to the stats.
+		fmt.Printf("metrics:             filtrations=%d seed_lookups=%d contig_locates=%d\n",
+			metrics.Filtrations.Load(), metrics.SeedLookups.Load(), metrics.ContigLocates.Load())
 	}
 	fmt.Printf("seeding:             %.3fs\n", st.SeedSeconds)
 	fmt.Printf("filter (wall):       %.3fs\n", st.FilterWallSeconds)

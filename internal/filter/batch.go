@@ -1,0 +1,128 @@
+package filter
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// batchGrain is how many pairs a batch worker claims per scheduling step:
+// large enough that the shared cursor's cache line is touched rarely
+// relative to kernel work, small enough that a pathological pair (or a
+// descheduled worker) cannot strand a long tail on one goroutine.
+const batchGrain = 64
+
+// BatchPair is one read/candidate-segment input to a BatchFilter.
+type BatchPair struct {
+	Read, Ref []byte
+}
+
+// BatchFilter is the machine-width batch filtering front end: it fans the
+// pairs of one batch across a fixed pool of worker goroutines, each owning
+// a private Filter instance built by the constructor's factory (a Kernel is
+// a per-thread stack frame, so per-worker instances are what make the fan-
+// out safe; the read-length-keyed kernel cache makes them cheap). Decisions
+// are bit-identical to running one factory instance serially over the batch
+// — pairs are filtered independently, only the schedule changes — for any
+// worker count, and always come back in input order: worker w writing
+// decision i means dst[i] belongs to pairs[i], regardless of which worker
+// claimed it or when it finished.
+//
+// A BatchFilter is safe for concurrent use; concurrent batches serialize on
+// an internal mutex (the parallelism lives inside a batch, across its
+// pairs), exactly like the engine's device buffers.
+type BatchFilter struct {
+	mu      sync.Mutex
+	workers int
+	insts   []Filter
+}
+
+// NewBatchFilter builds a batch front end over workers instances of the
+// factory's filter. workers <= 0 means GOMAXPROCS — the machine width.
+func NewBatchFilter(factory func() Filter, workers int) *BatchFilter {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b := &BatchFilter{workers: workers, insts: make([]Filter, workers)}
+	for i := range b.insts {
+		b.insts[i] = factory()
+	}
+	return b
+}
+
+// Name identifies the underlying filter.
+func (b *BatchFilter) Name() string { return b.insts[0].Name() }
+
+// Workers returns the worker pool width.
+func (b *BatchFilter) Workers() int { return b.workers }
+
+// FilterBatch filters every pair at threshold e across the worker pool and
+// returns the decisions in input order.
+func (b *BatchFilter) FilterBatch(pairs []BatchPair, e int) []Decision {
+	dst := make([]Decision, len(pairs))
+	b.FilterBatchInto(dst, pairs, e)
+	return dst
+}
+
+// FilterBatchInto is FilterBatch writing into a caller-owned slice, so the
+// steady state of a reused dst allocates nothing beyond the worker
+// goroutines themselves. len(dst) must equal len(pairs).
+func (b *BatchFilter) FilterBatchInto(dst []Decision, pairs []BatchPair, e int) {
+	if len(dst) != len(pairs) {
+		panic(fmt.Sprintf("filter: BatchFilter dst length %d != pairs length %d", len(dst), len(pairs)))
+	}
+	n := len(pairs)
+	if n == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	workers := b.workers
+	if maxUseful := (n + batchGrain - 1) / batchGrain; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers == 1 {
+		filterRange(b.insts[0], pairs, dst, e)
+		return
+	}
+	// Dynamic distribution: workers claim grain-sized blocks from a shared
+	// cursor, so a slow pair (or a busy core) only delays its own block and
+	// the batch finishes as soon as the last block does.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(f Filter) {
+			defer wg.Done()
+			for {
+				hi := int(cursor.Add(batchGrain))
+				lo := hi - batchGrain
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				filterRange(f, pairs[lo:hi], dst[lo:hi], e)
+			}
+		}(b.insts[w])
+	}
+	wg.Wait()
+}
+
+// filterRange is one worker's claimed block: the per-worker steady state.
+// With a GateKeeper instance it allocates nothing (the wrapper's cache hit
+// and the fused kernel are both allocation-free; TestBatchFilterRangeZeroAllocs
+// guards it at run time — the dynamic Filter call is why this function
+// cannot carry the static //gk:noalloc annotation, whose analyzer rejects
+// interface dispatch; the statically proven per-worker steady state is the
+// engine's cpuFilterRange in internal/gkgpu).
+func filterRange(f Filter, pairs []BatchPair, dst []Decision, e int) {
+	for i := range pairs {
+		dst[i] = f.Filter(pairs[i].Read, pairs[i].Ref, e)
+	}
+}

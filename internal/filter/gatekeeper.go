@@ -2,6 +2,7 @@ package filter
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/dna"
@@ -170,7 +171,12 @@ func (k *Kernel) FilterEncoded(readEnc, refEnc []uint64, e int) (estimate int, a
 
 	early := !k.exact && !k.ablate.CountRuns
 
-	// final := amend(Hamming mask), then AND in the 2e shifted masks.
+	// final := amend(Hamming mask), then AND in the 2e shifted masks. The
+	// k-deletion and k-insertion masks of each shift are independent until
+	// the final AND, so maskPassPair produces both lanes in one traversal
+	// (shared reference loads, one loop's worth of pipeline bookkeeping);
+	// AND is associative bit-by-bit, so folding outU & outD per word is
+	// bit-identical to two sequential maskPass calls.
 	k.maskPass(readEnc, refEnc, 0, true)
 	if early {
 		if est := k.windowEstimate(); est <= e {
@@ -178,8 +184,7 @@ func (k *Kernel) FilterEncoded(readEnc, refEnc []uint64, e int) (estimate int, a
 		}
 	}
 	for shift := 1; shift <= e; shift++ {
-		k.maskPass(readEnc, refEnc, shift, false)  // deletion mask
-		k.maskPass(readEnc, refEnc, -shift, false) // insertion mask
+		k.maskPassPair(readEnc, refEnc, shift) // deletion + insertion lanes
 		if early {
 			if est := k.windowEstimate(); est <= e {
 				return est, true
@@ -377,6 +382,193 @@ func (k *Kernel) maskPass(re, fe []uint64, shift int, init bool) {
 	}
 }
 
+// maskPassPair builds the s-deletion and s-insertion masks of one shift in a
+// single traversal of the mask words and folds both into k.final. The two
+// lanes are independent — they read the same reference words but shift the
+// read in opposite directions — so producing them together unrolls the
+// shift/XOR/collapse/amend/AND chain across two independent dependency
+// chains per iteration (the superscalar win) and halves the loop and
+// software-pipeline bookkeeping of two maskPass calls. Because the final
+// AND is associative per bit, final[m] &= outU & outD is bit-identical to
+// ANDing the lanes in sequence; the early-accept checkpoints in
+// FilterEncoded sit after both lanes either way.
+//
+// s must be >= 1 (shift 0 is the Hamming init, maskPass's job).
+//
+//gk:noalloc
+func (k *Kernel) maskPassPair(re, fe []uint64, s int) {
+	mw := k.maskWords
+	ew := k.encWords
+	L := k.readLen
+	nbits := uint(2 * s) // character shift in bits
+	ws := int(nbits >> 6)
+	bs := nbits & 63
+
+	// shiftedU/shiftedD return encoded word j of the read shifted up
+	// (deletion lane) and down (insertion lane), carry-transferred across
+	// word boundaries; out-of-range words are zero.
+	shiftedU := func(j int) uint64 {
+		jj := j - ws
+		if jj < 0 || jj >= ew {
+			return 0
+		}
+		w := re[jj] << bs
+		if bs != 0 && jj > 0 {
+			w |= re[jj-1] >> (64 - bs)
+		}
+		return w
+	}
+	shiftedD := func(j int) uint64 {
+		jj := j + ws
+		if jj >= ew {
+			return 0
+		}
+		w := re[jj] >> bs
+		if bs != 0 && jj+1 < ew {
+			w |= re[jj+1] << (64 - bs)
+		}
+		return w
+	}
+
+	// rawU/rawD are mask word m of each lane: shift, XOR, collapse, tail
+	// clear — fused, as in maskPass.
+	rawU := func(m int) uint64 {
+		if m >= mw {
+			return 0
+		}
+		j := 2 * m
+		a := shiftedU(j) ^ fe[j]
+		var b uint64
+		if j+1 < ew {
+			b = shiftedU(j+1) ^ fe[j+1]
+		}
+		w := bitvec.CollapsePair(a, b)
+		if m == mw-1 {
+			w &= k.tailMask
+		}
+		return w
+	}
+	rawD := func(m int) uint64 {
+		if m >= mw {
+			return 0
+		}
+		j := 2 * m
+		a := shiftedD(j) ^ fe[j]
+		var b uint64
+		if j+1 < ew {
+			b = shiftedD(j+1) ^ fe[j+1]
+		}
+		w := bitvec.CollapsePair(a, b)
+		if m == mw-1 {
+			w &= k.tailMask
+		}
+		return w
+	}
+
+	doAmend := !k.ablate.SkipAmendment
+	pass1 := func(prev, cur, next uint64) uint64 {
+		if !doAmend {
+			return cur
+		}
+		return cur | ((cur<<1 | prev>>63) & (cur>>1 | next<<63))
+	}
+
+	gpu := k.mode == ModeGPU
+	final := k.final
+
+	// Two independent software pipelines, one per lane (see maskPass for the
+	// stage layout).
+	ru0, ru1, ru2 := rawU(0), rawU(1), rawU(2)
+	rd0, rd1, rd2 := rawD(0), rawD(1), rawD(2)
+	p1pU := uint64(0)
+	p1mU := pass1(0, ru0, ru1)
+	p1nU := pass1(ru0, ru1, ru2)
+	p1pD := uint64(0)
+	p1mD := pass1(0, rd0, rd1)
+	p1nD := pass1(rd0, rd1, rd2)
+	var psPrevU, psPrevD uint64
+
+	for m := 0; m < mw; m++ {
+		outU := p1mU
+		outD := p1mD
+		if doAmend {
+			// Amendment pass 2 on both lanes: fill double zeros.
+			up1 := p1mU<<1 | p1pU>>63
+			dn2 := p1mU>>2 | p1nU<<62
+			ps := up1 & dn2
+			outU |= ps | ps<<1 | psPrevU>>63
+			psPrevU = ps
+
+			up1 = p1mD<<1 | p1pD>>63
+			dn2 = p1mD>>2 | p1nD<<62
+			ps = up1 & dn2
+			outD |= ps | ps<<1 | psPrevD>>63
+			psPrevD = ps
+		}
+		if m == mw-1 {
+			outU &= k.tailMask
+			outD &= k.tailMask
+		}
+
+		// Edge forcing, per lane: the deletion mask's vacated bits are
+		// [0, s), the insertion mask's are [L-s, L). GPU mode forces them to
+		// 1 (the Figure 2 accuracy fix); FPGA/SHD zeroes them.
+		if lo := m << 6; lo < s {
+			n := s - lo
+			var fm uint64
+			if n >= 64 {
+				fm = ^uint64(0)
+			} else {
+				fm = uint64(1)<<uint(n) - 1
+			}
+			if gpu {
+				outU |= fm
+			} else {
+				outU &^= fm
+			}
+		}
+		start := L - s
+		if start < 0 {
+			start = 0
+		}
+		if wlo := m << 6; wlo+64 > start {
+			from := start - wlo
+			if from < 0 {
+				from = 0
+			}
+			to := L - wlo
+			if to > 64 {
+				to = 64
+			}
+			if to > from {
+				width := to - from
+				var fm uint64
+				if width >= 64 {
+					fm = ^uint64(0)
+				} else {
+					fm = uint64(1)<<uint(width) - 1
+				}
+				if gpu {
+					outD |= fm << uint(from)
+				} else {
+					outD &^= fm << uint(from)
+				}
+			}
+		}
+
+		final[m] &= outU & outD
+
+		// Advance both pipelines one word.
+		p1pU, p1mU = p1mU, p1nU
+		ru0, ru1, ru2 = ru1, ru2, rawU(m+3)
+		p1nU = pass1(ru0, ru1, ru2)
+
+		p1pD, p1mD = p1mD, p1nD
+		rd0, rd1, rd2 = rd1, rd2, rawD(m+3)
+		p1nD = pass1(rd0, rd1, rd2)
+	}
+}
+
 // countErrors applies the configured error counter.
 //
 //gk:noalloc
@@ -426,11 +618,17 @@ func (k *Kernel) FilterChecked(read, ref []byte, e int) (Decision, error) {
 // thresholds by keeping a small cache of kernels keyed by read length — the
 // only dimension scratch buffers depend on. A threshold above a cached
 // kernel's bound grows the kernel in place (GrowMaxE) instead of building a
-// fresh kernel with a fresh stack frame per distinct (length, e) pair. It is
-// the convenience path; hot loops should hold a Kernel directly.
+// fresh kernel with a fresh stack frame per distinct (length, e) pair.
+//
+// The wrapper is safe for concurrent use: a mutex guards the cache map, the
+// in-place GrowMaxE, and the kernel itself (a Kernel is a per-thread stack
+// frame, so filtrations through one wrapper serialize). It is the
+// convenience path — hot loops should hold a Kernel per worker directly, or
+// fan out through a BatchFilter, which builds one wrapper per worker.
 type gateKeeper struct {
 	mode    Mode
 	name    string
+	mu      sync.Mutex
 	exact   bool
 	kernels map[int]*Kernel
 }
@@ -440,6 +638,8 @@ type gateKeeper struct {
 // `gkfilter -v`, where the default sealed upper bound would be printed next
 // to the true edit distance. Decisions are identical either way.
 func (g *gateKeeper) SetExactEstimate(exact bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.exact = exact
 	for _, k := range g.kernels {
 		k.SetExactEstimate(exact)
@@ -447,7 +647,9 @@ func (g *gateKeeper) SetExactEstimate(exact bool) {
 }
 
 // NewGateKeeperGPU returns the improved GateKeeper filter of the paper.
-// The returned Filter is not safe for concurrent use (see Kernel).
+// The returned Filter is safe for concurrent use, but filtrations through
+// one instance serialize on its internal mutex; machine-width callers
+// should hold a Kernel per worker, or use a BatchFilter.
 func NewGateKeeperGPU() Filter {
 	return &gateKeeper{mode: ModeGPU, name: "GateKeeper-GPU", kernels: map[int]*Kernel{}}
 }
@@ -469,6 +671,8 @@ func NewSHD() Filter {
 func (g *gateKeeper) Name() string { return g.name }
 
 func (g *gateKeeper) Filter(read, ref []byte, e int) Decision {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	k := g.kernels[len(read)]
 	if k == nil {
 		k = NewKernel(g.mode, len(read), e)

@@ -3,23 +3,39 @@ package gkgpu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cuda"
 	"repro/internal/filter"
 )
 
+// cpuGrain is how many pairs a CPU worker claims per scheduling step, the
+// same granularity trade-off as filter.BatchFilter: rare enough cursor
+// traffic to stay off the shared cache line, fine enough that an uneven
+// pair (early-sealed accept vs exhaustive reject) cannot strand a tail.
+const cpuGrain = 64
+
 // CPUEngine is the GateKeeper-CPU baseline of Section 4.3: the same improved
 // GateKeeper algorithm executed by host threads ("we implement
 // GateKeeper-CPU in a multicore fashion and report the results of 12
 // cores"). Its modelled times grow almost linearly with the error threshold,
 // which is the CPU-vs-GPU contrast of Figure S.12.
+//
+// A CPUEngine is safe for concurrent use; calls serialize on an internal
+// mutex (the parallelism lives inside a call, across its pairs) and each
+// worker goroutine owns a persistent Kernel, so the steady state of a warm
+// engine allocates only the per-call result slice.
 type CPUEngine struct {
 	readLen int
 	maxE    int
 	cores   int
 	setup   Setup
 	model   cuda.CostModel
+
+	mu      sync.Mutex
+	kernels []*filter.Kernel
+	refSeq  []byte
 	stats   Stats
 }
 
@@ -40,70 +56,194 @@ func NewCPUEngine(readLen, maxE, cores int, setup Setup, model cuda.CostModel) (
 	return &CPUEngine{readLen: readLen, maxE: maxE, cores: cores, setup: setup, model: model}, nil
 }
 
-// FilterPairs filters every pair on the host, fanning out across goroutines
-// (bounded by the configured core count) with one kernel stack per worker.
-func (c *CPUEngine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
-	if errThreshold < 0 || errThreshold > c.maxE {
-		return nil, fmt.Errorf("gkgpu: threshold %d outside [0,%d]", errThreshold, c.maxE)
-	}
-	results := make([]Result, len(pairs))
-	start := time.Now()
-	workers := cuda.MaxWorkers(len(pairs))
+// workersFor bounds a call's fan-out by the configured core count, the
+// machine width, and the work available, and makes sure a persistent kernel
+// exists for every worker slot. Kernels survive across calls — the
+// read-length-keyed scratch is the expensive part, and reusing it is what
+// keeps the per-call steady state allocation-free inside the workers.
+func (c *CPUEngine) workersFor(n int) int {
+	workers := cuda.MaxWorkers(n)
 	if workers > c.cores {
 		workers = c.cores
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	for len(c.kernels) < workers {
+		c.kernels = append(c.kernels, filter.NewKernel(filter.ModeGPU, c.readLen, c.maxE))
+	}
+	return workers
+}
+
+// runWidth fans out over [0, n) with dynamic grain-sized claiming: workers
+// pull the next block off a shared cursor, so a block of early-sealed
+// accepts doesn't leave its worker idle while another grinds through
+// exhaustive rejects. Worker w runs body on its private persistent kernel.
+func (c *CPUEngine) runWidth(workers, n int, body func(kern *filter.Kernel, lo, hi int)) {
+	if workers == 1 {
+		body(c.kernels[0], 0, n)
+		return
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(pairs) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(kern *filter.Kernel) {
 			defer wg.Done()
-			kern := filter.NewKernel(filter.ModeGPU, c.readLen, c.maxE)
-			for i := lo; i < hi; i++ {
-				d, err := kern.FilterChecked(pairs[i].Read, pairs[i].Ref, errThreshold)
-				if err != nil {
-					results[i] = Result{Accept: true}
-					continue
+			for {
+				hi := int(cursor.Add(cpuGrain))
+				lo := hi - cpuGrain
+				if lo >= n {
+					return
 				}
-				results[i] = Result{Accept: d.Accept, Undefined: d.Undefined, Estimate: uint16(d.Estimate)}
+				if hi > n {
+					hi = n
+				}
+				body(kern, lo, hi)
 			}
-		}(lo, hi)
+		}(c.kernels[w])
 	}
 	wg.Wait()
+}
+
+// FilterPairs filters every pair on the host, fanning out across goroutines
+// (bounded by the configured core count) with one persistent kernel per
+// worker. Results come back in input order, one per pair.
+func (c *CPUEngine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
+	if errThreshold < 0 || errThreshold > c.maxE {
+		return nil, fmt.Errorf("gkgpu: threshold %d outside [0,%d]", errThreshold, c.maxE)
+	}
+	results := make([]Result, len(pairs))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	workers := c.workersFor(len(pairs))
+	c.runWidth(workers, len(pairs), func(kern *filter.Kernel, lo, hi int) {
+		cpuFilterRange(kern, pairs[lo:hi], results[lo:hi], errThreshold)
+	})
 
 	w := cuda.Workload{Pairs: len(pairs), ReadLen: c.readLen, E: errThreshold, DeviceEncoded: true}
 	c.stats.KernelSeconds += c.model.CPUKernelSeconds(w, c.cores, c.setup.CPUFactor)
 	c.stats.FilterSeconds += c.model.CPUFilterSeconds(w, c.cores, c.setup.CPUFactor)
 	c.stats.Batches++
-	for _, r := range results {
-		c.stats.Pairs++
-		switch {
-		case r.Undefined:
-			c.stats.Undefined++
-			c.stats.Accepted++
-		case r.Accept:
-			c.stats.Accepted++
-		default:
-			c.stats.Rejected++
-		}
-	}
+	c.stats.countDecisions(results)
 	c.stats.WallSeconds += time.Since(start).Seconds()
 	return results, nil
 }
 
+// cpuFilterRange is one worker's claimed block of a pair batch: the
+// per-worker steady state, filtering each pair on the worker's kernel. A
+// pair the kernel cannot check (wrong-length sequences — FilterChecked's
+// only error once the threshold is validated up front) keeps its slot as
+// Undefined+Accept, the same defensive pass-to-verification convention the
+// GPU engine applies to out-of-geometry streaming items, so Stats counts it
+// as Undefined rather than a plain accept.
+//
+//gk:noalloc
+func cpuFilterRange(kern *filter.Kernel, pairs []Pair, out []Result, errThreshold int) {
+	for i := range pairs {
+		d, err := kern.FilterChecked(pairs[i].Read, pairs[i].Ref, errThreshold)
+		if err != nil {
+			out[i] = Result{Accept: true, Undefined: true}
+			continue
+		}
+		out[i] = Result{Accept: d.Accept, Undefined: d.Undefined, Estimate: uint16(d.Estimate)}
+	}
+}
+
+// SetReference loads the reference the index-named candidate path filters
+// against. Unlike the GPU engine there is nothing to encode up front: the
+// host kernel encodes each candidate's window on demand (and that encode
+// doubles as the window's 'N' scan), so the engine just keeps a private
+// copy of the sequence.
+func (c *CPUEngine) SetReference(seq []byte) error {
+	if len(seq) < c.readLen {
+		return fmt.Errorf("gkgpu: reference (%d) shorter than read length (%d)", len(seq), c.readLen)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refSeq = append(c.refSeq[:0], seq...)
+	return nil
+}
+
+// FilterCandidates filters index-named candidates against the loaded
+// reference on the host, with the same validation, undefined semantics, and
+// result ordering as the GPU engine's FilterCandidates: decisions are
+// identical on both engines for the same inputs.
+func (c *CPUEngine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshold int) ([]Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.refSeq == nil {
+		return nil, fmt.Errorf("gkgpu: FilterCandidates before SetReference")
+	}
+	if errThreshold < 0 || errThreshold > c.maxE {
+		return nil, fmt.Errorf("gkgpu: threshold %d outside [0,%d]", errThreshold, c.maxE)
+	}
+	L := c.readLen
+	for i, r := range reads {
+		if len(r) != L {
+			return nil, fmt.Errorf("gkgpu: read %d has length %d; engine compiled for %d", i, len(r), L)
+		}
+	}
+	for i, cd := range cands {
+		if cd.ReadID < 0 || int(cd.ReadID) >= len(reads) {
+			return nil, fmt.Errorf("gkgpu: candidate %d references read %d of %d", i, cd.ReadID, len(reads))
+		}
+		if cd.Pos < 0 || int(cd.Pos)+L > len(c.refSeq) {
+			return nil, fmt.Errorf("gkgpu: candidate %d window [%d,%d) outside reference of %d",
+				i, cd.Pos, int(cd.Pos)+L, len(c.refSeq))
+		}
+	}
+	results := make([]Result, len(cands))
+	start := time.Now()
+	workers := c.workersFor(len(cands))
+	c.runWidth(workers, len(cands), func(kern *filter.Kernel, lo, hi int) {
+		cpuCandidateRange(kern, c.refSeq, L, reads, cands[lo:hi], results[lo:hi], errThreshold)
+	})
+
+	// Timing model: the index path matches the GPU engine's host-encoded
+	// transfer profile (reads shipped once, reference resident).
+	w := cuda.Workload{Pairs: len(cands), ReadLen: L, E: errThreshold, DeviceEncoded: false}
+	c.stats.KernelSeconds += c.model.CPUKernelSeconds(w, c.cores, c.setup.CPUFactor)
+	c.stats.FilterSeconds += c.model.CPUFilterSeconds(w, c.cores, c.setup.CPUFactor)
+	c.stats.Batches++
+	c.stats.countDecisions(results)
+	c.stats.WallSeconds += time.Since(start).Seconds()
+	return results, nil
+}
+
+// cpuCandidateRange is cpuFilterRange for index-named candidates: each
+// candidate's reference window is a subslice of the resident reference, and
+// FilterChecked's encode pass detects an 'N' in the read or the window —
+// exactly the readHasN/windowHasN conditions the GPU engine flags — so the
+// undefined decisions agree without a recorded N-position index.
+//
+//gk:noalloc
+func cpuCandidateRange(kern *filter.Kernel, ref []byte, L int,
+	reads [][]byte, cands []Candidate, out []Result, errThreshold int) {
+
+	for i := range cands {
+		cd := cands[i]
+		window := ref[cd.Pos : int(cd.Pos)+L]
+		d, err := kern.FilterChecked(reads[cd.ReadID], window, errThreshold)
+		if err != nil {
+			out[i] = Result{Accept: true, Undefined: true}
+			continue
+		}
+		out[i] = Result{Accept: d.Accept, Undefined: d.Undefined, Estimate: uint16(d.Estimate)}
+	}
+}
+
 // Stats returns the accumulated measurements.
-func (c *CPUEngine) Stats() Stats { return c.stats }
+func (c *CPUEngine) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // ResetStats clears the accumulated measurements.
-func (c *CPUEngine) ResetStats() { c.stats = Stats{} }
+func (c *CPUEngine) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}

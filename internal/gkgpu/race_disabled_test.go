@@ -1,0 +1,7 @@
+//go:build !race
+
+package gkgpu
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so the zero-allocation guards skip under it.
+const raceEnabled = false

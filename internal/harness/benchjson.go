@@ -36,6 +36,14 @@ type BenchReport struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is the scheduler width the capture actually ran at — the
+	// number that makes two captures comparable. Zero in a decoded report
+	// means a pre-convention capture of unknown width; CompareBaseline
+	// treats any width mismatch as invalid for trajectory claims.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// BenchTime is the per-measurement budget of the testing runner
+	// (captures at different budgets have different noise floors).
+	BenchTime string `json:"benchtime"`
 
 	// Kernels are single-pair filtration paths: the fused 64-bit kernel
 	// (several geometries, pre-encoded and raw-byte) and the retained
@@ -80,12 +88,14 @@ func RunBenchJSON(dir, label string, out io.Writer) (string, error) {
 		dir = "."
 	}
 	rep := BenchReport{
-		Stamp:     time.Now().UTC().Format("20060102T150405Z"),
-		Label:     label,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Stamp:      time.Now().UTC().Format("20060102T150405Z"),
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  "1s", // the testing runner's default budget
 	}
 
 	// Kernel suite: the Figure 4/7 hot loop on generated dataset pairs.
@@ -134,6 +144,42 @@ func RunBenchJSON(dir, label string, out io.Writer) (string, error) {
 			}
 		})
 		rep.Kernels = append(rep.Kernels, entry("kernel-ref32-"+g.name[6:], rr, len(pairs)))
+	}
+
+	// Batch front end: aggregate machine-width throughput on the Figure 4
+	// set3 L100/e5 configuration, at one worker and at GOMAXPROCS. The w1
+	// row isolates the front end's scheduling overhead against the plain
+	// kernel row above; the wN row is what the machine can actually do.
+	{
+		p, err := simdata.Set("set3")
+		if err != nil {
+			return "", err
+		}
+		all := simdata.ToEnginePairs(simdata.Generate(p, 42, 1000))
+		// Same N-dropped workload as the kernel-fused-L100-e5 row, so the w1
+		// row divides cleanly against it.
+		pairs := make([]filter.BatchPair, 0, len(all))
+		for _, pr := range all {
+			if !dna.HasN(pr.Read) && !dna.HasN(pr.Ref) {
+				pairs = append(pairs, filter.BatchPair{Read: pr.Read, Ref: pr.Ref})
+			}
+		}
+		widths := []int{1}
+		if w := runtime.GOMAXPROCS(0); w > 1 {
+			widths = append(widths, w)
+		}
+		for _, w := range widths {
+			bf := filter.NewBatchFilter(filter.NewGateKeeperGPU, w)
+			dst := make([]filter.Decision, len(pairs))
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bf.FilterBatchInto(dst, pairs, 5)
+				}
+			})
+			rep.Kernels = append(rep.Kernels,
+				entry(fmt.Sprintf("batch-fused-L100-e5-w%d", w), r, len(pairs)))
+		}
 	}
 
 	// Pre-encoded path (what the engine's launch stage runs).
@@ -229,7 +275,7 @@ func RunBenchJSON(dir, label string, out io.Writer) (string, error) {
 		return "", err
 	}
 	if out != nil {
-		fmt.Fprintf(out, "wrote %s\n", path)
+		fmt.Fprintf(out, "wrote %s (gomaxprocs=%d benchtime=%s)\n", path, rep.GOMAXPROCS, rep.BenchTime)
 		for _, e := range rep.Kernels {
 			fmt.Fprintf(out, "  %-32s %12.0f ns/op %12.0f pairs/s %4d allocs/op\n",
 				e.Name, e.NsPerOp, e.PairsPerSec, e.AllocsPerOp)
@@ -239,4 +285,69 @@ func RunBenchJSON(dir, label string, out io.Writer) (string, error) {
 		}
 	}
 	return path, nil
+}
+
+// LoadBenchReport decodes one BENCH_<stamp>.json capture.
+func LoadBenchReport(path string) (BenchReport, error) {
+	var rep BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("harness: decoding %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareBench prints cur's rows against a baseline capture, row by row,
+// with the new/old throughput ratio. When the captures disagree on machine
+// width (CPUs or GOMAXPROCS — a baseline predating the gomaxprocs field
+// reports "unknown") the comparison is printed anyway but framed by a loud
+// warning: rates measured at different widths are not a perf trajectory,
+// which is exactly the apples-to-oranges mistake the pre-PR-7 captures made.
+func CompareBench(baseline, cur BenchReport, out io.Writer) {
+	crossWidth := baseline.CPUs != cur.CPUs || baseline.GOMAXPROCS != cur.GOMAXPROCS
+	warn := func() {
+		oldWidth := fmt.Sprintf("%d", baseline.GOMAXPROCS)
+		if baseline.GOMAXPROCS == 0 {
+			oldWidth = "unknown"
+		}
+		fmt.Fprintf(out, "WARNING: cross-width comparison: baseline %s ran on cpus=%d gomaxprocs=%s,\n",
+			baseline.Stamp, baseline.CPUs, oldWidth)
+		fmt.Fprintf(out, "WARNING: this capture on cpus=%d gomaxprocs=%d. Throughput ratios below are\n",
+			cur.CPUs, cur.GOMAXPROCS)
+		fmt.Fprintf(out, "WARNING: NOT comparable and must not be read as a perf trajectory.\n")
+	}
+	if crossWidth {
+		fmt.Fprintln(out, "****************************************************************")
+		warn()
+		fmt.Fprintln(out, "****************************************************************")
+	}
+	old := make(map[string]BenchEntry)
+	for _, rows := range [][]BenchEntry{baseline.Kernels, baseline.Filters, baseline.Index} {
+		for _, e := range rows {
+			old[e.Name] = e
+		}
+	}
+	fmt.Fprintf(out, "vs baseline %s (label %q):\n", baseline.Stamp, baseline.Label)
+	for _, rows := range [][]BenchEntry{cur.Kernels, cur.Filters, cur.Index} {
+		for _, e := range rows {
+			o, ok := old[e.Name]
+			if !ok {
+				fmt.Fprintf(out, "  %-32s %12.0f ns/op   (new row, no baseline)\n", e.Name, e.NsPerOp)
+				continue
+			}
+			if e.PairsPerSec > 0 && o.PairsPerSec > 0 {
+				fmt.Fprintf(out, "  %-32s %12.0f -> %12.0f pairs/s  (x%.2f)\n",
+					e.Name, o.PairsPerSec, e.PairsPerSec, e.PairsPerSec/o.PairsPerSec)
+			} else if o.NsPerOp > 0 {
+				fmt.Fprintf(out, "  %-32s %12.0f -> %12.0f ns/op    (x%.2f)\n",
+					e.Name, o.NsPerOp, e.NsPerOp, o.NsPerOp/e.NsPerOp)
+			}
+		}
+	}
+	if crossWidth {
+		warn()
+	}
 }

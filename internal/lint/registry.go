@@ -15,6 +15,7 @@ var NoAllocRegistry = []string{
 	"repro/internal/filter.Kernel.FilterEncoded",
 	"repro/internal/filter.Kernel.FilterChecked",
 	"repro/internal/filter.Kernel.maskPass",
+	"repro/internal/filter.Kernel.maskPassPair",
 	"repro/internal/filter.Kernel.windowEstimate",
 	"repro/internal/filter.Kernel.countErrors",
 
@@ -38,6 +39,11 @@ var NoAllocRegistry = []string{
 	"repro/internal/mapper.Reference.ContigOf",
 	"repro/internal/mapper.Reference.Locate",
 	"repro/internal/mapper.Reference.WindowContig",
+
+	// The CPU baseline's per-worker steady states: one claimed block of a
+	// pair batch or an index-named candidate batch on a persistent kernel.
+	"repro/internal/gkgpu.cpuFilterRange",
+	"repro/internal/gkgpu.cpuCandidateRange",
 
 	// The streaming pipeline's steady-state per-batch accounting: runStream
 	// recycles batches through a pool, and these are the helpers that run

@@ -2,7 +2,10 @@ package mapper
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/align"
@@ -44,8 +47,9 @@ type Config struct {
 	// BothStrands also maps the reverse complement of every read, as real
 	// short read mappers do; reverse-strand mappings carry Reverse=true.
 	BothStrands bool
-	// StreamWorkers sizes MapStream's seeding and verification worker pools.
-	// Zero uses GOMAXPROCS. The one-shot MapReads path ignores it.
+	// StreamWorkers sizes the seeding and verification worker pools — the
+	// streaming pipeline's stage pools and the one-shot MapReads fan-out
+	// alike. Zero uses GOMAXPROCS.
 	StreamWorkers int
 }
 
@@ -249,10 +253,64 @@ func (m *Mapper) candidates(read []byte, e int) []int32 {
 	return dedup
 }
 
+// workerCount resolves the configured pool width against the machine and the
+// work available.
+func (m *Mapper) workerCount(n int) int {
+	w := m.cfg.StreamWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs body over [0, n) across workers goroutines, each claiming
+// grain-sized blocks off a shared cursor (the same dynamic schedule as the
+// batch filter front end, and channel-free by design: the block index fully
+// determines each worker's writes, so indexed slices are the only shared
+// state). body must touch only its [lo, hi) slots.
+func parallelFor(workers, n, grain int, body func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				hi := int(cursor.Add(int64(grain)))
+				lo := hi - grain
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // MapReads maps every read at threshold e, batching candidates through the
 // configured pre-alignment filter (when present) before verification, and
 // returns the mappings in (read, position) order together with the run's
-// statistics.
+// statistics. Seeding and verification fan out across the StreamWorkers
+// pool (and the engines parallelize filtering internally), so the one-shot
+// seeding→filter→verify pipeline runs at machine width end to end; the
+// result is bit-identical to a serial run for any pool size.
 func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 	if e > m.cfg.MaxE {
 		return nil, Stats{}, fmt.Errorf("mapper: threshold %d exceeds configured %d", e, m.cfg.MaxE)
@@ -291,15 +349,24 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 			}
 		}
 
-		// Seeding: collect candidate locations for the whole batch.
+		// Seeding: collect candidate locations for the whole batch, fanned
+		// out across the worker pool. Each query's candidate list lands in
+		// its own slot, and the flatten below walks slots in query order, so
+		// the candidate sequence is byte-identical to the serial walk.
 		seedStart := time.Now()
 		type cand struct {
 			query int // index into batch/queries
 			pos   int32
 		}
+		perQuery := make([][]int32, len(batch))
+		parallelFor(m.workerCount(len(batch)), len(batch), 8, func(lo, hi int) {
+			for qi := lo; qi < hi; qi++ {
+				perQuery[qi] = m.candidates(batch[qi], e)
+			}
+		})
 		var cands []cand
-		for qi, seq := range batch {
-			for _, pos := range m.candidates(seq, e) {
+		for qi := range perQuery {
+			for _, pos := range perQuery[qi] {
 				cands = append(cands, cand{query: qi, pos: pos})
 			}
 		}
@@ -350,9 +417,36 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 			}
 		}
 
-		// Verification: banded edit distance for surviving pairs.
+		// Verification: banded edit distance for surviving pairs, fanned out
+		// across the worker pool into per-candidate slots; the serial pass
+		// below tallies stats and appends surviving mappings in candidate
+		// order, so the mapping list equals the serial walk's before the
+		// final canonical sort.
 		verifyStart := time.Now()
-		for i, c := range cands {
+		slots := make([]Mapping, len(cands))
+		kept := make([]bool, len(cands))
+		parallelFor(m.workerCount(len(cands)), len(cands), 32, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !verdicts[i].Accept {
+					continue
+				}
+				c := cands[i]
+				q := queries[c.query]
+				ci, rel := m.ref.Locate(int(c.pos))
+				if m.cfg.Traceback {
+					if al, ok := align.Align(pairs[i].Read, pairs[i].Ref, e); ok {
+						slots[i] = Mapping{ReadID: q.readID, Contig: ci, Pos: rel,
+							Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: q.reverse}
+						kept[i] = true
+					}
+				} else if d, ok := align.DistanceBanded(pairs[i].Read, pairs[i].Ref, e); ok {
+					slots[i] = Mapping{ReadID: q.readID, Contig: ci, Pos: rel,
+						Distance: d, Reverse: q.reverse}
+					kept[i] = true
+				}
+			}
+		})
+		for i := range cands {
 			if !verdicts[i].Accept {
 				st.RejectedPairs++
 				continue
@@ -361,16 +455,8 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 				st.UndefinedPairs++
 			}
 			st.VerificationPairs++
-			q := queries[c.query]
-			ci, rel := m.ref.Locate(int(c.pos))
-			if m.cfg.Traceback {
-				if al, ok := align.Align(pairs[i].Read, pairs[i].Ref, e); ok {
-					mappings = append(mappings, Mapping{ReadID: q.readID, Contig: ci, Pos: rel,
-						Distance: al.Distance, CIGAR: al.CIGARCompat(), Reverse: q.reverse})
-				}
-			} else if d, ok := align.DistanceBanded(pairs[i].Read, pairs[i].Ref, e); ok {
-				mappings = append(mappings, Mapping{ReadID: q.readID, Contig: ci, Pos: rel,
-					Distance: d, Reverse: q.reverse})
+			if kept[i] {
+				mappings = append(mappings, slots[i])
 			}
 		}
 		st.VerifySeconds += time.Since(verifyStart).Seconds()

@@ -1,0 +1,133 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gkgpu"
+	"repro/internal/simdata"
+)
+
+// TestMapReadsWorkerWidthIdentity: the one-shot pipeline's worker pool is a
+// schedule, not a decision input — MapReads must return byte-identical
+// mappings and decision counters for any StreamWorkers setting, with and
+// without a pre-alignment filter, traceback, and both-strand mapping.
+func TestMapReadsWorkerWidthIdentity(t *testing.T) {
+	g := testGenome(200_000)
+	reads, err := simdata.SimulateReads(g, simdata.Illumina100, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]byte, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{ReadLen: 100, MaxE: 5}},
+		{"traceback-bothstrands", Config{ReadLen: 100, MaxE: 5, Traceback: true, BothStrands: true}},
+		{"cpu-filter", Config{ReadLen: 100, MaxE: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) ([]Mapping, Stats) {
+				cfg := tc.cfg
+				cfg.StreamWorkers = workers
+				if tc.name == "cpu-filter" {
+					eng, err := gkgpu.NewCPUEngine(100, 5, 12, gkgpu.Setup1(), cuda.DefaultCostModel())
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Filter = eng
+				}
+				m, err := New(g, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mappings, st, err := m.MapReads(seqs, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return mappings, st
+			}
+			want, wantSt := run(1)
+			for _, workers := range []int{2, 4, 0} { // 0 = GOMAXPROCS
+				got, gotSt := run(workers)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d mappings, serial %d", workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d mapping %d: %+v != %+v", workers, i, got[i], want[i])
+					}
+				}
+				if gotSt.CandidatePairs != wantSt.CandidatePairs ||
+					gotSt.VerificationPairs != wantSt.VerificationPairs ||
+					gotSt.RejectedPairs != wantSt.RejectedPairs ||
+					gotSt.UndefinedPairs != wantSt.UndefinedPairs ||
+					gotSt.Mappings != wantSt.Mappings ||
+					gotSt.MappedReads != wantSt.MappedReads {
+					t.Fatalf("workers=%d counters diverge:\n got %+v\nwant %+v", workers, gotSt, wantSt)
+				}
+			}
+		})
+	}
+}
+
+// TestMapReadsUsesCandidatePathOnCPUEngine: the CPU baseline now implements
+// CandidateFilter, so the mapper should take the index-named path — decisions
+// (and therefore mappings) must match the GPU engine's candidate path.
+func TestMapReadsUsesCandidatePathOnCPUEngine(t *testing.T) {
+	g := testGenome(150_000)
+	reads, err := simdata.SimulateReads(g, simdata.Illumina100, 80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]byte, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+
+	cpuEng, err := gkgpu.NewCPUEngine(100, 5, 12, gkgpu.Setup1(), cuda.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCPU, err := New(g, Config{ReadLen: 100, MaxE: 5, Filter: cpuEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mCPU.candFilter == nil {
+		t.Fatal("CPUEngine not recognized as a CandidateFilter")
+	}
+	gotCPU, stCPU, err := mCPU.MapReads(seqs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gpuEng, err := gkgpu.NewEngine(gkgpu.Config{ReadLen: 100, MaxE: 5}, cuda.NewUniformContext(1, cuda.GTX1080Ti()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpuEng.Close()
+	mGPU, err := New(g, Config{ReadLen: 100, MaxE: 5, Filter: gpuEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGPU, stGPU, err := mGPU.MapReads(seqs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(gotCPU) != len(gotGPU) {
+		t.Fatalf("CPU path %d mappings, GPU path %d", len(gotCPU), len(gotGPU))
+	}
+	for i := range gotGPU {
+		if gotCPU[i] != gotGPU[i] {
+			t.Fatalf("mapping %d: CPU %+v, GPU %+v", i, gotCPU[i], gotGPU[i])
+		}
+	}
+	if stCPU.RejectedPairs != stGPU.RejectedPairs || stCPU.UndefinedPairs != stGPU.UndefinedPairs {
+		t.Fatalf("filter counters diverge: CPU %+v, GPU %+v", stCPU, stGPU)
+	}
+}
