@@ -416,7 +416,7 @@ func BenchmarkCandidatePath(b *testing.B) {
 		reads = append(reads, read)
 		for c := 0; c < 20; c++ {
 			p := rng.Intn(len(g) - 100)
-			cands = append(cands, gkgpu.Candidate{ReadID: int32(i), Pos: int32(p)})
+			cands = append(cands, gkgpu.Candidate{ReadID: int64(i), Pos: int64(p)})
 			pairs = append(pairs, gkgpu.Pair{Read: read, Ref: g[p : p+100]})
 		}
 	}

@@ -34,8 +34,13 @@
 //	gkmap -sim -paired -reads 2000 -insert-mean 400 -insert-std 40 -sam out.sam
 //	gkmap -ref ref.fa -reads-file reads.fq -e 3 -prefilter none -sam out.sam
 //	gkmap -ref genome.fa -reads-file r1.fq -reads2 r2.fq -paired -stream -sam out.sam
+//	gkmap -ref genome.fa -index genome.gkix -reads-file reads.fq -sam out.sam
 //
-// where genome.fa may hold any number of contigs.
+// where genome.fa may hold any number of contigs. -index loads a GKIX index
+// serialized by gkindex instead of rebuilding it — on genome-scale
+// references the build dominates startup, the load is a single sequential
+// read — and adopts the file's recorded seed length and step, so no -k or
+// -seedstep bookkeeping can drift between indexing and mapping.
 package main
 
 import (
@@ -59,6 +64,8 @@ func main() {
 		readLen   = flag.Int("readlen", 100, "read length (simulation)")
 		refFile   = flag.String("ref", "", "reference FASTA (when not -sim)")
 		readsFile = flag.String("reads-file", "", "reads FASTQ (when not -sim)")
+		indexFile = flag.String("index", "", "GKIX index file from gkindex; skips the index build and adopts the file's seed geometry")
+		seedStep  = flag.Int("seedstep", 0, "seed step for the in-memory index build (0 = every window; ignored with -index)")
 		e         = flag.Int("e", 5, "edit distance threshold")
 		preFilter = flag.String("prefilter", "gpu", "pre-alignment filter: gpu, cpu, or none")
 		encoding  = flag.String("encoding", "device", "encoding actor for the GPU engine: device or host")
@@ -168,7 +175,8 @@ func main() {
 	}
 
 	cfg := mapper.Config{ReadLen: *readLen, MaxE: *e, MaxReadsPerBatch: *batch,
-		BothStrands: *strands, Traceback: *samOut != "", StreamWorkers: *workers}
+		BothStrands: *strands, Traceback: *samOut != "", StreamWorkers: *workers,
+		SeedStep: *seedStep}
 	switch *preFilter {
 	case "gpu":
 		enc := gkgpu.EncodeOnDevice
@@ -194,7 +202,15 @@ func main() {
 		fatal(fmt.Errorf("unknown prefilter %q", *preFilter))
 	}
 
-	m, err := mapper.NewFromReference(ref, cfg)
+	var m *mapper.Mapper
+	var err error
+	if *indexFile != "" {
+		// The serialized index carries its own k and step; the mapper adopts
+		// them (and rejects the file if it wasn't built from this reference).
+		m, err = mapper.NewFromSerializedIndex(ref, *indexFile, cfg)
+	} else {
+		m, err = mapper.NewFromReference(ref, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -65,31 +65,34 @@ func main() {
 		// One record per contig, chr1..chrN, each an independently seeded
 		// simulated sequence splitting -length evenly — the multi-contig
 		// reference shape gkmap's file mode consumes. -contigs 1 keeps the
-		// historical single "chrSim" record.
+		// historical single "chrSim" record. Contigs stream straight to the
+		// output (simdata.StreamGenome chunks into dna.FASTAWriter), so
+		// emitting a multi-gigabase reference for the genome-scale
+		// experiments costs constant memory instead of OOMing on
+		// materialized contigs.
 		if *contigs < 1 {
 			fatal(fmt.Errorf("-contigs %d", *contigs))
 		}
-		var recs []dna.Record
-		if *contigs == 1 {
-			cfg := simdata.DefaultGenomeConfig(*length)
-			cfg.Seed = *seed
-			recs = []dna.Record{{Name: "chrSim", Seq: simdata.Genome(cfg)}}
-		} else {
-			per := *length / *contigs
-			if per < 1 {
-				fatal(fmt.Errorf("-length %d too small for %d contigs", *length, *contigs))
+		per := *length / *contigs
+		if per < 1 {
+			fatal(fmt.Errorf("-length %d too small for %d contigs", *length, *contigs))
+		}
+		fw := dna.NewFASTAWriter(w)
+		for i := 0; i < *contigs; i++ {
+			cfg := simdata.DefaultGenomeConfig(per)
+			cfg.Seed = *seed + int64(i)
+			name, desc := fmt.Sprintf("chr%d", i+1), fmt.Sprintf("simulated contig %d/%d", i+1, *contigs)
+			if *contigs == 1 {
+				name, desc = "chrSim", ""
 			}
-			for i := 0; i < *contigs; i++ {
-				cfg := simdata.DefaultGenomeConfig(per)
-				cfg.Seed = *seed + int64(i)
-				recs = append(recs, dna.Record{
-					Name: fmt.Sprintf("chr%d", i+1),
-					Desc: fmt.Sprintf("simulated contig %d/%d", i+1, *contigs),
-					Seq:  simdata.Genome(cfg),
-				})
+			if err := fw.Begin(name, desc); err != nil {
+				fatal(err)
+			}
+			if err := simdata.StreamGenome(cfg, fw.Append); err != nil {
+				fatal(err)
 			}
 		}
-		if err := dna.WriteFASTA(w, recs); err != nil {
+		if err := fw.Flush(); err != nil {
 			fatal(err)
 		}
 	case "reads":

@@ -104,29 +104,86 @@ func splitHeader(h []byte) (name, desc string) {
 // record's description, when present, follows the id on the header line, so
 // ReadFASTA round-trips both fields.
 func WriteFASTA(w io.Writer, recs []Record) error {
-	bw := bufio.NewWriter(w)
+	fw := NewFASTAWriter(w)
 	for _, rec := range recs {
-		hdr := rec.Name
-		if rec.Desc != "" {
-			hdr += " " + rec.Desc
-		}
-		if _, err := fmt.Fprintf(bw, ">%s\n", hdr); err != nil {
+		if err := fw.Begin(rec.Name, rec.Desc); err != nil {
 			return err
 		}
-		for off := 0; off < len(rec.Seq); off += 70 {
-			end := off + 70
-			if end > len(rec.Seq) {
-				end = len(rec.Seq)
-			}
-			if _, err := bw.Write(rec.Seq[off:end]); err != nil {
-				return err
-			}
-			if err := bw.WriteByte('\n'); err != nil {
-				return err
-			}
+		if err := fw.Append(rec.Seq); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return fw.Flush()
+}
+
+// FASTAWriter writes FASTA incrementally with the same 70-column wrapping
+// as WriteFASTA (which runs on top of it): Begin opens a record's header,
+// any number of Append calls stream its sequence in arbitrary chunks, and
+// Flush closes the last record. A record's bytes never need to exist in one
+// slice, so a generator (gksim's genome mode) can emit a multi-gigabase
+// contig in constant memory.
+type FASTAWriter struct {
+	bw  *bufio.Writer
+	col int // bases already on the current sequence line
+}
+
+// NewFASTAWriter returns a writer emitting to w.
+func NewFASTAWriter(w io.Writer) *FASTAWriter {
+	return &FASTAWriter{bw: bufio.NewWriter(w)}
+}
+
+// Begin starts a record: it terminates the previous record's final partial
+// line, then writes the ">name desc" header.
+func (fw *FASTAWriter) Begin(name, desc string) error {
+	if err := fw.breakLine(); err != nil {
+		return err
+	}
+	hdr := name
+	if desc != "" {
+		hdr += " " + desc
+	}
+	_, err := fmt.Fprintf(fw.bw, ">%s\n", hdr)
+	return err
+}
+
+// Append streams sequence bases into the current record, wrapping lines at
+// 70 columns across chunk boundaries.
+func (fw *FASTAWriter) Append(seq []byte) error {
+	for len(seq) > 0 {
+		room := 70 - fw.col
+		if room > len(seq) {
+			room = len(seq)
+		}
+		if _, err := fw.bw.Write(seq[:room]); err != nil {
+			return err
+		}
+		fw.col += room
+		seq = seq[room:]
+		if fw.col == 70 {
+			if err := fw.bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			fw.col = 0
+		}
+	}
+	return nil
+}
+
+func (fw *FASTAWriter) breakLine() error {
+	if fw.col == 0 {
+		return nil
+	}
+	fw.col = 0
+	return fw.bw.WriteByte('\n')
+}
+
+// Flush terminates the final record's last line and flushes buffered
+// output. The writer is reusable afterwards (the next Begin starts cleanly).
+func (fw *FASTAWriter) Flush() error {
+	if err := fw.breakLine(); err != nil {
+		return err
+	}
+	return fw.bw.Flush()
 }
 
 // FASTQScanner decodes FASTQ records incrementally from a stream: one

@@ -201,3 +201,64 @@ func TestFASTQScannerRecordBuffersIndependent(t *testing.T) {
 		t.Fatalf("first record mutated by later Scan: %+v", first)
 	}
 }
+
+// TestFASTAWriterMatchesWriteFASTA pins the incremental writer to
+// WriteFASTA byte for byte, across record lengths around the wrap column
+// and arbitrary chunkings of the same sequence.
+func TestFASTAWriterMatchesWriteFASTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lengths := []int{0, 1, 69, 70, 71, 140, 141, 350, 1234}
+	var recs []Record
+	for i, n := range lengths {
+		desc := ""
+		if i%2 == 1 {
+			desc = "described"
+		}
+		recs = append(recs, Record{Name: "chr" + strings.Repeat("x", i+1), Desc: desc, Seq: RandomSeq(rng, n)})
+	}
+	var want bytes.Buffer
+	if err := WriteFASTA(&want, recs); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 70, 71, 100000} {
+		var got bytes.Buffer
+		fw := NewFASTAWriter(&got)
+		for _, rec := range recs {
+			if err := fw.Begin(rec.Name, rec.Desc); err != nil {
+				t.Fatal(err)
+			}
+			for off := 0; off < len(rec.Seq); off += chunk {
+				end := off + chunk
+				if end > len(rec.Seq) {
+					end = len(rec.Seq)
+				}
+				if err := fw.Append(rec.Seq[off:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("chunk=%d: incremental output differs from WriteFASTA", chunk)
+		}
+	}
+	// And the wrapped output must decode back to the records.
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d of %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(back[i].Seq, recs[i].Seq) {
+			t.Fatalf("record %d sequence changed in round trip", i)
+		}
+	}
+}

@@ -7,10 +7,16 @@ import "math/rand"
 // the reproduction.
 func RandomSeq(rng *rand.Rand, n int) []byte {
 	seq := make([]byte, n)
-	for i := range seq {
-		seq[i] = Alphabet[rng.Intn(4)]
-	}
+	FillRandom(rng, seq)
 	return seq
+}
+
+// FillRandom overwrites dst with uniform random bases — RandomSeq without
+// the allocation, for generators that reuse one chunk buffer.
+func FillRandom(rng *rand.Rand, dst []byte) {
+	for i := range dst {
+		dst[i] = Alphabet[rng.Intn(4)]
+	}
 }
 
 // MutateSubstitutions copies seq and applies exactly k substitutions at

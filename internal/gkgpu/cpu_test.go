@@ -115,7 +115,7 @@ func TestCPUEngineCandidatesMatchGPU(t *testing.T) {
 		}
 		reads = append(reads, read)
 		for _, p := range []int{pos, rng.Intn(len(genome) - 100), 6_990} {
-			cands = append(cands, Candidate{ReadID: int32(i), Pos: int32(p)})
+			cands = append(cands, Candidate{ReadID: int64(i), Pos: int64(p)})
 		}
 	}
 	want, err := gpu.FilterCandidates(reads, cands, 5)
@@ -145,7 +145,7 @@ func TestCPUEngineCandidatesMatchGPU(t *testing.T) {
 	if _, err := cpu.FilterCandidates(reads, []Candidate{{ReadID: -1, Pos: 0}}, 5); err == nil {
 		t.Fatal("negative ReadID accepted")
 	}
-	if _, err := cpu.FilterCandidates(reads, []Candidate{{ReadID: 0, Pos: int32(len(genome) - 50)}}, 5); err == nil {
+	if _, err := cpu.FilterCandidates(reads, []Candidate{{ReadID: 0, Pos: int64(len(genome) - 50)}}, 5); err == nil {
 		t.Fatal("out-of-reference window accepted")
 	}
 	if _, err := cpu.FilterCandidates([][]byte{make([]byte, 40)}, nil, 5); err == nil {
@@ -251,7 +251,7 @@ func TestCPUCandidateRangeZeroAllocs(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		pos := rng.Intn(len(genome) - 100)
 		reads = append(reads, dna.MutateSubstitutions(rng, genome[pos:pos+100], rng.Intn(8)))
-		cands = append(cands, Candidate{ReadID: int32(i), Pos: int32(pos)})
+		cands = append(cands, Candidate{ReadID: int64(i), Pos: int64(pos)})
 	}
 	out := make([]Result, len(cands))
 	kern := filter.NewKernel(filter.ModeGPU, 100, 5)

@@ -19,10 +19,12 @@ import (
 // comparison, starting with extracting the relevant reference segment based
 // on the index" — and the reason unified memory fits the workload: the
 // reference's designated segments are requested only on demand, and a read
-// is copied to the device once for all of its candidate locations.
+// is copied to the device once for all of its candidate locations. IDs and
+// positions are 64-bit so the candidate path addresses genome-scale
+// (>2^31-base) references directly.
 type Candidate struct {
-	ReadID int32
-	Pos    int32
+	ReadID int64
+	Pos    int64
 }
 
 // reference is the per-engine encoded reference state.
@@ -31,7 +33,7 @@ type reference struct {
 	// nPositions are the sorted offsets of unknown base calls, recorded
 	// during encoding (Section 3.5): windows overlapping them bypass
 	// filtration as undefined.
-	nPositions []int32
+	nPositions []int64
 	// encoded reference words, one unified-memory copy per device.
 	bufs []*cuda.UMBuffer
 }
@@ -55,7 +57,7 @@ func (e *Engine) SetReference(seq []byte) error {
 	words := bitvec.EncodedWords(len(seq))
 	encoded := make([]uint64, words)
 	var nMu sync.Mutex
-	var nPositions []int32
+	var nPositions []int64
 
 	// Parallel encode: each worker packs a disjoint word range. 'N' (or any
 	// unknown byte) encodes as 0 and its position is recorded.
@@ -74,14 +76,14 @@ func (e *Engine) SetReference(seq []byte) error {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var local []int32
+			var local []int64
 			for wi := lo; wi < hi; wi++ {
 				var word uint64
 				base := wi * dna.BasesPerWord
 				for b := 0; b < dna.BasesPerWord && base+b < len(seq); b++ {
 					code, ok := dna.Code(seq[base+b])
 					if !ok {
-						local = append(local, int32(base+b))
+						local = append(local, int64(base+b))
 						continue
 					}
 					word |= uint64(code) << uint(2*b)
@@ -134,9 +136,9 @@ func (r *reference) free() {
 }
 
 // windowHasN reports whether [start, start+n) overlaps a recorded 'N'.
-func (r *reference) windowHasN(start, n int32) bool {
+func (r *reference) windowHasN(start int64, n int) bool {
 	i := sort.Search(len(r.nPositions), func(i int) bool { return r.nPositions[i] >= start })
-	return i < len(r.nPositions) && r.nPositions[i] < start+n
+	return i < len(r.nPositions) && r.nPositions[i] < start+int64(n)
 }
 
 // FilterCandidates filters index-named candidates against the loaded
@@ -253,9 +255,10 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 // bytes directly — concurrent producers need no shared read numbering —
 // while the reference side still comes from the unified-memory encoded
 // reference, so a window's bases are never materialized on the host.
+// Pos is 64-bit, matching Candidate.
 type StreamCandidate struct {
 	Read []byte
-	Pos  int32
+	Pos  int64
 }
 
 // FilterCandidateStream is FilterStream for index-named candidates: the
@@ -333,7 +336,7 @@ func (e *Engine) encodeCandidateChunk(st *deviceState, set *bufferSet, items []S
 				// errors) and 'N'-touched candidates both flag undefined:
 				// the former defensively, the latter by design.
 				if len(c.Read) != L || c.Pos < 0 || int(c.Pos)+L > ref.length ||
-					ref.windowHasN(c.Pos, int32(L)) || dna.TryEncodeInto(words, c.Read) >= 0 {
+					ref.windowHasN(c.Pos, L) || dna.TryEncodeInto(words, c.Read) >= 0 {
 					flags[i] = 1
 					continue
 				}
@@ -415,7 +418,7 @@ func (e *Engine) runCandidateBatch(st *deviceState, devIdx int, chunk []Candidat
 	}
 	return st.dev.Launch(lc, n, func(worker, tid int) {
 		c := chunk[tid]
-		if readHasN[c.ReadID] || e.ref.windowHasN(c.Pos, int32(L)) {
+		if readHasN[c.ReadID] || e.ref.windowHasN(c.Pos, L) {
 			out[tid] = Result{Accept: true, Undefined: true}
 			return
 		}

@@ -26,7 +26,7 @@ func TestFilterCandidatesMatchesFilterPairs(t *testing.T) {
 		reads = append(reads, read)
 		// Several candidates per read, including wrong ones.
 		for _, p := range []int{pos, rng.Intn(len(genome) - 100), pos + 3} {
-			cands = append(cands, Candidate{ReadID: int32(i), Pos: int32(p)})
+			cands = append(cands, Candidate{ReadID: int64(i), Pos: int64(p)})
 			pairs = append(pairs, Pair{Read: read, Ref: genome[p : p+100]})
 		}
 	}
@@ -166,7 +166,7 @@ func TestReferenceNRecording(t *testing.T) {
 		t.Fatalf("recorded %d N positions, want 4", len(r.nPositions))
 	}
 	for _, tc := range []struct {
-		start int32
+		start int64
 		want  bool
 	}{
 		{0, true}, {1, false}, {700, true}, {778, false}, {1_401, true}, {1_501, false}, {2_900, true},
@@ -190,9 +190,9 @@ func TestFilterCandidatesSharedReadEncodedOnce(t *testing.T) {
 	read := dna.MutateSubstitutions(rng, genome[pos:pos+100], 3)
 	var cands []Candidate
 	for i := 0; i < 50; i++ {
-		cands = append(cands, Candidate{ReadID: 0, Pos: int32(rng.Intn(len(genome) - 100))})
+		cands = append(cands, Candidate{ReadID: 0, Pos: int64(rng.Intn(len(genome) - 100))})
 	}
-	cands = append(cands, Candidate{ReadID: 0, Pos: int32(pos)})
+	cands = append(cands, Candidate{ReadID: 0, Pos: int64(pos)})
 	res, err := eng.FilterCandidates([][]byte{read}, cands, 5)
 	if err != nil {
 		t.Fatal(err)

@@ -331,8 +331,8 @@ func TestFilterCandidateStreamMatchesFilterCandidates(t *testing.T) {
 		}
 		reads = append(reads, read)
 		for _, p := range []int{pos, rng.Intn(len(genome) - 100), 11_000} {
-			cands = append(cands, Candidate{ReadID: int32(i), Pos: int32(p)})
-			scands = append(scands, StreamCandidate{Read: read, Pos: int32(p)})
+			cands = append(cands, Candidate{ReadID: int64(i), Pos: int64(p)})
+			scands = append(scands, StreamCandidate{Read: read, Pos: int64(p)})
 		}
 	}
 	ref := newTestEngine(t, EncodeOnHost, 1)
@@ -380,7 +380,7 @@ func TestFilterCandidateStreamDefensivePassThrough(t *testing.T) {
 	read := dna.RandomSeq(rng, 100)
 	cands := []StreamCandidate{
 		{Read: read, Pos: 100},
-		{Read: read, Pos: int32(len(genome) - 50)}, // window past the end
+		{Read: read, Pos: int64(len(genome) - 50)}, // window past the end
 		{Read: read, Pos: -3},                      // negative offset
 		{Read: read[:60], Pos: 100},                // wrong-length read
 		{Read: read, Pos: 200},
@@ -429,7 +429,7 @@ func TestFilterCandidateStreamInterleavesWithOtherPaths(t *testing.T) {
 		pos := rng.Intn(len(genome) - 100)
 		scands = append(scands, StreamCandidate{
 			Read: dna.MutateSubstitutions(rng, genome[pos:pos+100], rng.Intn(10)),
-			Pos:  int32(pos),
+			Pos:  int64(pos),
 		})
 	}
 	first := drainCandidateStream(t, eng, scands, 5)

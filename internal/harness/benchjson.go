@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -264,6 +265,36 @@ func RunBenchJSON(dir, label string, out io.Writer) (string, error) {
 		})
 		_ = sink
 		rep.Index = append(rep.Index, entry("index-lookup", rl, 0))
+
+		// GKIX serialization: raw-slab write rate and zero-copy load rate
+		// over the same 500k index (PR 8's genome-scale startup path).
+		var blob bytes.Buffer
+		if err := idx.Serialize(&blob); err != nil {
+			return "", err
+		}
+		rs := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				buf.Grow(blob.Len())
+				if err := idx.Serialize(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Index = append(rep.Index, entry("index-serialize-500k", rs, 0))
+
+		refObj := mapper.SingleContig("", ref)
+		data := blob.Bytes()
+		ld := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.LoadIndex(bytes.NewReader(data), refObj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Index = append(rep.Index, entry("index-load-500k", ld, 0))
 	}
 
 	path := fmt.Sprintf("%s/BENCH_%s.json", dir, rep.Stamp)

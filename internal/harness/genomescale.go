@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"repro/internal/dna"
+	"repro/internal/mapper"
+	"repro/internal/simdata"
+)
+
+// genomeScaleBound is the position-space ceiling the 64-bit index refactor
+// removed: 2^31 bases, the largest reference the old int32 positions could
+// address.
+const genomeScaleBound = int64(1) << 31
+
+// genomeScaleBase is the reference size at scale 1.0. Crossing the 2^31
+// bound therefore needs -scale 34 (and roughly 40 GB of RAM for the
+// unstepped index); any smaller scale demonstrates the machinery on the
+// same code paths and says so loudly.
+const genomeScaleBase = 64_000_000
+
+// runGenomeScale exercises PR 8 end to end on one reference: build the
+// unstepped and a step-16 index over a multi-contig genome, map reads drawn
+// from the highest-offset contig with both, then serialize the stepped
+// index, load it back, and prove the loaded index maps identically to the
+// in-memory one. Reported rows: generation/build/serialize/load wall times,
+// index entry counts (the ~step× shrink), candidate totals per step (the
+// probe-fan trade-off), and mapped-read counts.
+func runGenomeScale(o Options) error {
+	total := int(float64(genomeScaleBase) * o.Scale)
+	if total < 600_000 {
+		total = 600_000
+	}
+	const nContigs = 8
+	per := total / nContigs
+	if int64(total) > genomeScaleBound {
+		fmt.Fprintf(o.Out, "reference: %d bases — beyond the 2^31 bound (%d); every position in the\n", total, genomeScaleBound)
+		fmt.Fprintf(o.Out, "last contig overflows int32 by construction.\n\n")
+	} else {
+		need := math.Ceil(float64(genomeScaleBound+1) / float64(genomeScaleBase))
+		fmt.Fprintf(o.Out, "NOTE: reference is %d bases, BELOW the 2^31 genome-scale bound (%d).\n", total, genomeScaleBound)
+		fmt.Fprintf(o.Out, "      This run drives the same 64-bit code paths at reduced size; rerun with\n")
+		fmt.Fprintf(o.Out, "      -scale %.0f (roughly 40 GB RAM) to cross the bound for real.\n\n", need)
+	}
+
+	genStart := time.Now()
+	recs := make([]dna.Record, nContigs)
+	for i := range recs {
+		cfg := simdata.DefaultGenomeConfig(per)
+		cfg.Seed = o.Seed + int64(i)
+		recs[i] = dna.Record{Name: fmt.Sprintf("chr%d", i+1), Seq: simdata.Genome(cfg)}
+	}
+	ref, err := mapper.NewReference(recs)
+	if err != nil {
+		return err
+	}
+	recs = nil // the reference holds the only copy from here on
+	fmt.Fprintf(o.Out, "generated %d contigs, %d bases in %.2fs\n\n", ref.NumContigs(), ref.Len(), time.Since(genStart).Seconds())
+
+	// Reads come from the LAST contig: its global offsets are the largest in
+	// the reference, so at genome scale every candidate this read set
+	// produces lives beyond int32.
+	const readLen, maxE = 100, 3
+	nReads := o.scaled(2_000)
+	reads, err := simdata.SimulateReads(ref.ContigSeq(nContigs-1), simdata.Illumina100, nReads, o.Seed+99)
+	if err != nil {
+		return err
+	}
+	seqs := make([][]byte, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+
+	const step = 16
+	type run struct {
+		buildSecs  float64
+		entries    int
+		candidates int64
+		mapped     int64
+		mapSecs    float64
+	}
+	// mapWith maps the read set and returns scalars (plus the mappings for
+	// identity checks); callers scope each mapper so the unstepped index —
+	// tens of gigabytes at full scale — dies with its section.
+	mapWith := func(m *mapper.Mapper, buildSecs float64) (run, []mapper.Mapping, error) {
+		mappings, stats, err := m.MapReads(seqs, maxE)
+		if err != nil {
+			return run{}, nil, err
+		}
+		return run{
+			buildSecs:  buildSecs,
+			entries:    m.Index().Entries(),
+			candidates: stats.CandidatePairs,
+			mapped:     stats.MappedReads,
+			mapSecs:    stats.TotalSeconds,
+		}, mappings, nil
+	}
+
+	var r1 run
+	{
+		t0 := time.Now()
+		m, err := mapper.NewFromReference(ref, mapper.Config{ReadLen: readLen, MaxE: maxE, SeedLen: 13})
+		if err != nil {
+			return err
+		}
+		build := time.Since(t0).Seconds()
+		if r1, _, err = mapWith(m, build); err != nil {
+			return err
+		}
+	}
+
+	t0 := time.Now()
+	m16, err := mapper.NewFromReference(ref, mapper.Config{ReadLen: readLen, MaxE: maxE, SeedLen: 13, SeedStep: step})
+	if err != nil {
+		return err
+	}
+	build16 := time.Since(t0).Seconds()
+	r16, mappings16, err := mapWith(m16, build16)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(o.Out, "%-22s %12s %12s %12s %12s %10s\n", "index", "build s", "entries", "candidates", "mapped", "map s")
+	fmt.Fprintf(o.Out, "%-22s %12.2f %12d %12d %12d %10.2f\n", "step=1 (every window)", r1.buildSecs, r1.entries, r1.candidates, r1.mapped, r1.mapSecs)
+	fmt.Fprintf(o.Out, "%-22s %12.2f %12d %12d %12d %10.2f\n", fmt.Sprintf("step=%d (sampled)", step), r16.buildSecs, r16.entries, r16.candidates, r16.mapped, r16.mapSecs)
+	if r16.entries > 0 {
+		fmt.Fprintf(o.Out, "index shrink %0.1fx, candidate ratio %0.2fx, mapped %d/%d of step=1\n\n",
+			float64(r1.entries)/float64(r16.entries),
+			float64(r16.candidates)/float64(max64(r1.candidates, 1)),
+			r16.mapped, r1.mapped)
+	}
+
+	// Serialize the stepped index, load it back, and map with the loaded
+	// copy: decisions must match the in-memory index exactly.
+	dir, err := os.MkdirTemp("", "gkix-scale")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }() //gk:allow errcheck: best-effort temp cleanup
+	path := filepath.Join(dir, "ref.gkix")
+
+	t0 = time.Now()
+	if err := m16.Index().SerializeToFile(path); err != nil {
+		return err
+	}
+	serSecs := time.Since(t0).Seconds()
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	t0 = time.Now()
+	mLoaded, err := mapper.NewFromSerializedIndex(ref, path, mapper.Config{ReadLen: readLen, MaxE: maxE})
+	if err != nil {
+		return err
+	}
+	loadSecs := time.Since(t0).Seconds()
+	_, mappingsLoaded, err := mapWith(mLoaded, loadSecs)
+	if err != nil {
+		return err
+	}
+	identical := reflect.DeepEqual(mappings16, mappingsLoaded)
+
+	mb := float64(st.Size()) / (1 << 20)
+	fmt.Fprintf(o.Out, "serialize: %.1f MiB in %.2fs (%.0f MiB/s)\n", mb, serSecs, mb/math.Max(serSecs, 1e-9))
+	fmt.Fprintf(o.Out, "load:      %.2fs (%.1fx faster than the step=%d build; k/step adopted from the file)\n",
+		loadSecs, r16.buildSecs/math.Max(loadSecs, 1e-9), step)
+	fmt.Fprintf(o.Out, "loaded-index mappings identical to in-memory: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("harness: loaded index mapped differently from the in-memory index")
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func init() {
+	register(Experiment{
+		ID:       "genomescale",
+		PaperRef: "Section 5 (SOAP3-dp/SneakySnake whole-genome scale)",
+		Title:    "Genome-scale 64-bit index: stepped seeding and serialized-index round trip",
+		Run:      runGenomeScale,
+	})
+}

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "fig5-he100", "fig5-le150", "fig5-he150", "fig5-le250", "fig5-he250",
 		"fig6", "fig6-150", "fig6-250", "fig7", "fig8", "figs12",
 		"tables24", "tables25", "tables26", "occupancy", "ablation", "fig2",
-		"pipeline", "mapstream", "streamingest", "multicontig",
+		"pipeline", "mapstream", "streamingest", "multicontig", "genomescale",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -224,5 +224,18 @@ func TestOptionsScaling(t *testing.T) {
 	defaulted.applyDefaults()
 	if defaulted.Scale != 1.0 || defaulted.Seed == 0 {
 		t.Fatal("defaults not applied")
+	}
+}
+
+func TestGenomeScaleExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("genomescale", tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BELOW the 2^31", "step=1", "step=16", "serialize:", "load:", "identical to in-memory: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("genomescale output missing %q:\n%s", want, out)
+		}
 	}
 }

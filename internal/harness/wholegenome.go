@@ -163,8 +163,15 @@ func runMultiContig(o Options) error {
 	}
 	firstJunction := len(seqs)
 	for ci := 0; ci+1 < ref.NumContigs(); ci++ {
-		end := ref.Contig(ci).End() //gk:allow coordsafe: deliberately builds a junction-straddling read in global coordinates
-		seqs = append(seqs, append([]byte(nil), ref.Seq()[end-profile.Length/2:end+profile.Length/2]...))
+		// A junction-straddling read: the tail of one contig glued to the
+		// head of the next — bytes identical to a read lifted across the
+		// boundary of the concatenated sequence, built without global
+		// coordinates.
+		tail := ref.ContigSeq(ci)
+		head := ref.ContigSeq(ci + 1)
+		read := append([]byte(nil), tail[len(tail)-profile.Length/2:]...)
+		read = append(read, head[:profile.Length/2]...)
+		seqs = append(seqs, read)
 		truth = append(truth, origin{contig: -1})
 	}
 

@@ -15,11 +15,13 @@ import (
 //     Reference/Contig methods is raw global-coordinate arithmetic and must
 //     justify itself with //gk:allow (the index build legitimately walks
 //     global coordinates; almost nothing else should).
-//  2. narrowing casts: converting a native-width int position to
-//     int32/uint32 silently truncates beyond 2^31-1 bases. Inside the
-//     mapper, every such cast must be justified against the build-time
-//     MaxInt32 guard — the exact sites the 64-bit-position migration on the
-//     roadmap will have to visit.
+//  2. narrowing casts: positions are 64-bit end to end since the
+//     genome-scale migration (PR 8) — the index, candidate, and filter
+//     paths all carry int64 and no build-time length guard exists any
+//     more. Converting a native-width int or int64 to int32/uint32 inside
+//     a position-domain package silently truncates beyond 2^31-1 bases
+//     and quietly reintroduces the bound the migration removed, so every
+//     such cast must justify itself with //gk:allow.
 //  3. mixed-domain arithmetic: an expression combining a contig-relative
 //     Mapping/PairMapping Pos with a global Contig.Off/End (or a raw int32
 //     index position) adds apples to oranges; translate through Reference
@@ -30,8 +32,9 @@ type CoordSafe struct {
 	AllowRecvs map[string]bool
 	// AllowFuncs are package-level constructor names with the same licence.
 	AllowFuncs map[string]bool
-	// NarrowPkgs are the package paths where rule 2 applies (the position
-	// domain's home package).
+	// NarrowPkgs are the package paths where rule 2 applies: the packages
+	// that carry reference positions (the mapper, and the filter engine's
+	// candidate path).
 	NarrowPkgs map[string]bool
 }
 
@@ -40,7 +43,10 @@ func NewCoordSafe() *CoordSafe {
 	return &CoordSafe{
 		AllowRecvs: map[string]bool{"Reference": true, "Contig": true},
 		AllowFuncs: map[string]bool{"NewReference": true, "SingleContig": true},
-		NarrowPkgs: map[string]bool{"repro/internal/mapper": true},
+		NarrowPkgs: map[string]bool{
+			"repro/internal/mapper": true,
+			"repro/internal/gkgpu":  true,
+		},
 	}
 }
 
@@ -136,7 +142,7 @@ func (a *CoordSafe) checkNarrowing(c *Context, call *ast.CallExpr) {
 	if !ok || (src.Kind() != types.Int && src.Kind() != types.Int64) {
 		return
 	}
-	c.Reportf("coordsafe", call.Pos(), "narrowing cast %s(...) of a native-width value: position space is int32-bound until the 64-bit migration; justify against the reference-length guard with //gk:allow", dst.Name())
+	c.Reportf("coordsafe", call.Pos(), "narrowing cast %s(...) of a native-width value: positions are 64-bit end to end; a 32-bit cast reintroduces the 2^31-base bound the genome-scale migration removed — justify with //gk:allow", dst.Name())
 }
 
 // checkMixing flags binary arithmetic combining a contig-relative Pos with a

@@ -36,6 +36,7 @@ var NoAllocRegistry = []string{
 	// candidate's boundary check goes through.
 	"repro/internal/mapper.Index.Lookup",
 	"repro/internal/mapper.Contig.End",
+	"repro/internal/mapper.Reference.ContigOff",
 	"repro/internal/mapper.Reference.ContigOf",
 	"repro/internal/mapper.Reference.Locate",
 	"repro/internal/mapper.Reference.WindowContig",

@@ -74,6 +74,12 @@ func badNarrowUint(pos int64) uint32 {
 	return uint32(pos) // want "narrowing cast uint32"
 }
 
+// The post-migration regression shape: an int64 position (the width the
+// whole pipeline now carries) squeezed back into 32 bits.
+func badNarrowInt64(pos int64) int32 {
+	return int32(pos) // want "narrowing cast int32"
+}
+
 func badMix(m Mapping, c Contig) bool {
 	return m.Pos < c.Off // want "mixes a contig-relative Pos" "direct read of Contig.Off"
 }

@@ -1,0 +1,103 @@
+package mapper
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// TestGenomeScaleBeyondInt32 is the acceptance proof of the 64-bit
+// migration: a reference longer than 2^31 bases builds, serializes, loads,
+// and maps end to end, with reads planted past the old int32 position
+// ceiling mapping at their true coordinates — and the loaded index mapping
+// exactly like the in-memory one. It allocates several gigabytes and runs
+// minutes single-core, so it is opt-in.
+func TestGenomeScaleBeyondInt32(t *testing.T) {
+	if os.Getenv("GK_GENOMESCALE") == "" {
+		t.Skip("set GK_GENOMESCALE=1 to run the >2^31-base end-to-end test (~8 GB RAM, minutes of runtime)")
+	}
+	rng := rand.New(rand.NewSource(77))
+	const l1 = 1<<31 - 200_000 // chr1: just under the int32 bound
+	const l2 = 50_000_000      // chr2: pushes the total past it
+	recs := []dna.Record{
+		{Name: "chr1", Seq: dna.RandomSeq(rng, l1)},
+		{Name: "chr2", Seq: dna.RandomSeq(rng, l2)},
+	}
+	ref, err := NewReference(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = nil
+	if int64(ref.Len()) <= math.MaxInt32 {
+		t.Fatalf("reference is %d bases; the test needs > %d", ref.Len(), math.MaxInt32)
+	}
+
+	// Step 64 keeps the index a few hundred megabytes; the probe fan needs
+	// k+step-1 = 76 <= ReadLen error-free bases, and the planted reads are
+	// error-free in full.
+	const L, step = 100, 64
+	cfg := Config{ReadLen: L, MaxE: 0, SeedLen: 13, SeedStep: step}
+	m, err := NewFromReference(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads from the tail of chr2: every true position is past 2^31 in
+	// global coordinates.
+	cs := ref.ContigSeq(1)
+	var reads [][]byte
+	var wantPos []int
+	for i := 0; i < 20; i++ {
+		pos := len(cs) - L - i*997
+		reads = append(reads, cs[pos:pos+L])
+		wantPos = append(wantPos, pos)
+	}
+
+	check := func(name string, mappings []Mapping) {
+		found := make([]bool, len(reads))
+		for _, mp := range mappings {
+			if mp.Contig == 1 && mp.Pos == wantPos[mp.ReadID] && mp.Distance == 0 {
+				found[mp.ReadID] = true
+				if global := int64(ref.ContigOff(1)) + int64(mp.Pos); global <= math.MaxInt32 {
+					t.Fatalf("%s: read %d mapped at global %d, inside int32 range — test is vacuous", name, mp.ReadID, global)
+				}
+			}
+		}
+		for i, ok := range found {
+			if !ok {
+				t.Errorf("%s: read %d (true pos %d) not mapped at its true position", name, i, wantPos[i])
+			}
+		}
+	}
+
+	memMaps, _, err := m.MapReads(reads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("in-memory", memMaps)
+
+	path := filepath.Join(t.TempDir(), "big.gkix")
+	if err := m.Index().SerializeToFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewFromSerializedIndex(ref, path, Config{ReadLen: L, MaxE: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Index().K() != 13 || loaded.Index().Step() != step {
+		t.Fatalf("loaded geometry k=%d step=%d", loaded.Index().K(), loaded.Index().Step())
+	}
+	loadedMaps, _, err := loaded.MapReads(reads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("loaded", loadedMaps)
+	if !reflect.DeepEqual(memMaps, loadedMaps) {
+		t.Fatal("loaded index mapped differently from the in-memory index")
+	}
+}

@@ -34,7 +34,6 @@ package mapper
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -60,6 +59,15 @@ import (
 // (position-stable, so hit lists stay in ascending reference order exactly
 // as the map layout appended them).
 //
+// Positions and bucket offsets are 64-bit, so a reference is bounded only
+// by memory — a >2^31-base genome (the SneakySnake/SOAP3-dp evaluation
+// scale) indexes like any other. An optional seed step (accel-align's
+// kmer_step) indexes only the contig-relative window starts divisible by
+// step, shrinking the index by ~step× at the cost of probing step
+// consecutive read offsets per seed at lookup time; the step is recorded in
+// the index so seeding stays in sync automatically, and step 1 is
+// bit-identical to the unstepped build.
+//
 // The build is sharded per contig: contigs are assigned to contiguous
 // shards balanced by base count, and both counting-sort passes run one
 // goroutine per shard (each shard owns a private bucket-count array merged
@@ -68,14 +76,15 @@ import (
 // making the arrays bit-identical to a sequential build regardless of shard
 // count.
 type Index struct {
-	ref *Reference
-	seq []byte // ref.Seq(), kept flat for the hot paths
-	k   int
+	ref  *Reference
+	seq  []byte // ref.Seq(), kept flat for the hot paths
+	k    int
+	step int // contig-relative sampling stride (1 = every window indexed)
 
 	shift   uint     // key -> bucket: bucket = key >> shift
-	offsets []uint32 // len nBuckets+1; bucket b spans keys/pos[offsets[b]:offsets[b+1]]
+	offsets []uint64 // len nBuckets+1; bucket b spans keys/pos[offsets[b]:offsets[b+1]]
 	keys    []uint32 // full k-mer key per indexed position, bucket-grouped, sorted within bucket
-	pos     []int32  // reference position per indexed position, same order as keys
+	pos     []int64  // reference position per indexed position, same order as keys
 
 	distinct int // number of distinct indexed k-mers
 }
@@ -84,15 +93,20 @@ type Index struct {
 const DefaultSeedLen = 13
 
 // maxShardCountBytes bounds the total transient bucket-count memory of a
-// sharded build (4 bytes per bucket per shard, freed once the build
+// sharded build (8 bytes per bucket per shard, freed once the build
 // returns); when the bucket array is huge the shard count degrades
 // gracefully rather than ballooning. The budget is sized for whole-genome
-// work: at the 2^26-bucket cap a shard's counts are 256 MiB, so a 1 GiB
-// budget keeps 4 shards alive on chromosome-scale references — small next
-// to the keys/pos arrays such a reference allocates anyway (8 bytes per
+// work: at the 2^26-bucket cap a shard's counts are 512 MiB, so a 1 GiB
+// budget keeps 2 shards alive on chromosome-scale references — small next
+// to the keys/pos arrays such a reference allocates anyway (12 bytes per
 // indexed position). Kept under 2^31 so the constant stays a valid int on
 // 32-bit platforms.
 const maxShardCountBytes = 1 << 30
+
+// MaxSeedStep bounds the index's seed step: past ~2^20 the per-seed probe
+// fan (step lookups per pigeonhole seed) would dwarf any realistic read
+// length, so a larger value is always a caller bug.
+const MaxSeedStep = 1 << 20
 
 // NewIndex builds the index over one flat sequence, treated as a single
 // contig. k must be in [8, 16] so a seed packs into one 32-bit key.
@@ -101,45 +115,56 @@ func NewIndex(seq []byte, k int) (*Index, error) {
 }
 
 // NewReferenceIndex builds the index over a multi-contig reference, sharding
-// the counting-sort build per contig. k must be in [8, 16].
+// the counting-sort build per contig. k must be in [8, 16]. Every indexable
+// window is entered (seed step 1); NewSteppedReferenceIndex is the sampled
+// form.
 func NewReferenceIndex(r *Reference, k int) (*Index, error) {
-	return buildReferenceIndex(r, k, runtime.GOMAXPROCS(0))
+	return buildReferenceIndex(r, k, 1, runtime.GOMAXPROCS(0))
 }
 
-// buildReferenceIndex is NewReferenceIndex with the shard-count cap exposed:
-// the result is bit-identical for any maxShards (tests force several counts
-// to prove it).
-func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
+// NewSteppedReferenceIndex builds the index with a seed step: only windows
+// whose contig-relative start is divisible by step are indexed, shrinking
+// the index ~step× (accel-align's kmer_step). The step is recorded in the
+// index and Mapper.candidates compensates automatically by probing step
+// consecutive read offsets per pigeonhole seed, so any exact seed whose
+// surrounding k+step-1 bases are error-free still finds a sampled hit.
+// step 1 is bit-identical to NewReferenceIndex.
+func NewSteppedReferenceIndex(r *Reference, k, step int) (*Index, error) {
+	return buildReferenceIndex(r, k, step, runtime.GOMAXPROCS(0))
+}
+
+// buildReferenceIndex is NewSteppedReferenceIndex with the shard-count cap
+// exposed: the result is bit-identical for any maxShards (tests force
+// several counts to prove it).
+func buildReferenceIndex(r *Reference, k, step, maxShards int) (*Index, error) {
 	if k < 8 || k > 16 {
 		return nil, fmt.Errorf("mapper: seed length %d outside [8,16]", k)
 	}
+	if step < 1 || step > MaxSeedStep {
+		return nil, fmt.Errorf("mapper: seed step %d outside [1,%d]", step, MaxSeedStep)
+	}
 	if r.Len() < k {
 		return nil, fmt.Errorf("mapper: reference (%d) shorter than seed (%d)", r.Len(), k)
-	}
-	// Positions are int32 throughout the index and the filter engines; a
-	// concatenation past that must fail loudly, not wrap.
-	if int64(r.Len()) > math.MaxInt32 {
-		return nil, fmt.Errorf("mapper: reference length %d exceeds the index's int32 position space (%d); split the workload per chromosome group",
-			r.Len(), math.MaxInt32)
 	}
 
 	contigs := r.Contigs()
 	shards := shardContigs(contigs, maxShards)
 
 	// Pass 0 (parallel per shard): count indexable windows — k defined bases
-	// wholly inside one contig.
+	// wholly inside one contig, starting on a step-aligned contig-relative
+	// offset (every window when step is 1).
 	perShardN := make([]int, len(shards))
 	forEachShard(shards, func(s int, sh contigShard) {
 		n := 0
-		for _, c := range contigs[sh.lo:sh.hi] {
+		for ci := sh.lo; ci < sh.hi; ci++ {
 			valid := 0
-			for _, b := range r.seq[c.Off:c.End()] { //gk:allow coordsafe: index build walks global coordinates by design
+			for i, b := range r.ContigSeq(ci) {
 				if !dna.IsACGT(b) {
 					valid = 0
 					continue
 				}
 				valid++
-				if valid >= k {
+				if valid >= k && (step == 1 || (i-k+1)%step == 0) {
 					n++
 				}
 			}
@@ -170,7 +195,7 @@ func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 
 	// Re-shard if the per-shard count arrays would blow the memory budget:
 	// fewer shards, same result (the build is shard-count invariant).
-	if maxByBudget := maxShardCountBytes / (4 * nBuckets); len(shards) > maxByBudget {
+	if maxByBudget := maxShardCountBytes / (8 * nBuckets); len(shards) > maxByBudget {
 		if maxByBudget < 1 {
 			maxByBudget = 1
 		}
@@ -181,17 +206,18 @@ func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 		ref:     r,
 		seq:     r.seq,
 		k:       k,
+		step:    step,
 		shift:   shift,
-		offsets: make([]uint32, nBuckets+1),
+		offsets: make([]uint64, nBuckets+1),
 		keys:    make([]uint32, n),
-		pos:     make([]int32, n),
+		pos:     make([]int64, n),
 	}
 
 	// Pass 1 (parallel per shard): count entries per (shard, bucket).
-	counts := make([][]uint32, len(shards))
+	counts := make([][]uint64, len(shards))
 	forEachShard(shards, func(s int, sh contigShard) {
-		cs := make([]uint32, nBuckets)
-		idx.countShard(contigs[sh.lo:sh.hi], cs)
+		cs := make([]uint64, nBuckets)
+		idx.countShard(sh.lo, sh.hi, cs)
 		counts[s] = cs
 	})
 
@@ -206,9 +232,9 @@ func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 	// the cursor/offset fill proceeds in parallel from those bases —
 	// bit-identical to the sequential walk.
 	ranges := splitRange(nBuckets, runtime.GOMAXPROCS(0))
-	rangeTotal := make([]uint32, len(ranges))
+	rangeTotal := make([]uint64, len(ranges))
 	forEachRange(ranges, func(ri int, lo, hi int) {
-		var t uint32
+		var t uint64
 		for b := lo; b < hi; b++ {
 			for _, cs := range counts {
 				t += cs[b]
@@ -216,7 +242,7 @@ func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 		}
 		rangeTotal[ri] = t
 	})
-	base := uint32(0)
+	base := uint64(0)
 	for ri, t := range rangeTotal {
 		rangeTotal[ri] = base
 		base += t
@@ -237,7 +263,7 @@ func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 	// Within a shard the reference scans left to right, keeping each
 	// (shard, bucket) run in ascending position order.
 	forEachShard(shards, func(s int, sh contigShard) {
-		idx.placeShard(contigs[sh.lo:sh.hi], counts[s])
+		idx.placeShard(sh.lo, sh.hi, counts[s])
 	})
 
 	// Sort each bucket by full key, stably, so equal keys keep ascending
@@ -266,17 +292,17 @@ func buildReferenceIndex(r *Reference, k, maxShards int) (*Index, error) {
 
 // countShard rolls the 2-bit hash across each of the shard's contigs
 // independently (the key and validity reset at contig starts, so no window
-// straddles a boundary) and counts each indexable window into its bucket.
-// The loop body is kept direct — no per-window callback — because the two
-// counting-sort passes dominate the build.
-func (x *Index) countShard(contigs []Contig, counts []uint32) {
-	k := x.k
+// straddles a boundary) and counts each indexable, step-aligned window into
+// its bucket. The loop body is kept direct — no per-window callback —
+// because the two counting-sort passes dominate the build.
+func (x *Index) countShard(lo, hi int, counts []uint64) {
+	k, step := x.k, x.step
 	shift := x.shift
 	mask := uint32(1)<<(2*k) - 1
-	for _, c := range contigs {
+	for ci := lo; ci < hi; ci++ {
 		var key uint32
 		valid := 0
-		for _, b := range x.seq[c.Off:c.End()] { //gk:allow coordsafe: index build walks global coordinates by design
+		for i, b := range x.ref.ContigSeq(ci) {
 			code, ok := dna.Code(b)
 			if !ok {
 				valid = 0
@@ -285,7 +311,7 @@ func (x *Index) countShard(contigs []Contig, counts []uint32) {
 			}
 			key = (key<<2 | uint32(code)) & mask
 			valid++
-			if valid >= k {
+			if valid >= k && (step == 1 || (i-k+1)%step == 0) {
 				counts[key>>shift]++
 			}
 		}
@@ -293,16 +319,19 @@ func (x *Index) countShard(contigs []Contig, counts []uint32) {
 }
 
 // placeShard is countShard's second pass: the same per-contig rolling hash,
-// placing each (key, global position) at the shard's bucket cursors.
-func (x *Index) placeShard(contigs []Contig, cursor []uint32) {
-	k := x.k
+// placing each (key, global position) at the shard's bucket cursors. The
+// global position is the contig's offset (via the sanctioned ContigOff
+// accessor) plus the window's contig-relative start — 64-bit end to end.
+func (x *Index) placeShard(lo, hi int, cursor []uint64) {
+	k, step := x.k, x.step
 	shift := x.shift
 	mask := uint32(1)<<(2*k) - 1
-	for _, c := range contigs {
+	for ci := lo; ci < hi; ci++ {
+		off := x.ref.ContigOff(ci)
 		var key uint32
 		valid := 0
-		for i := c.Off; i < c.End(); i++ { //gk:allow coordsafe: index build walks global coordinates by design
-			code, ok := dna.Code(x.seq[i])
+		for i, b := range x.ref.ContigSeq(ci) {
+			code, ok := dna.Code(b)
 			if !ok {
 				valid = 0
 				key = 0
@@ -310,11 +339,11 @@ func (x *Index) placeShard(contigs []Contig, cursor []uint32) {
 			}
 			key = (key<<2 | uint32(code)) & mask
 			valid++
-			if valid >= k {
+			if valid >= k && (step == 1 || (i-k+1)%step == 0) {
 				bk := key >> shift
 				cu := cursor[bk]
 				x.keys[cu] = key
-				x.pos[cu] = int32(i - k + 1) //gk:allow coordsafe: i < Len, and NewIndex rejects references beyond MaxInt32
+				x.pos[cu] = int64(off + i - k + 1)
 				cursor[bk] = cu + 1
 			}
 		}
@@ -418,11 +447,11 @@ func forEachShard(shards []contigShard, fn func(s int, sh contigShard)) {
 // quadratic element moves would dominate the build — those buckets fall
 // back to the general stable sort. Both keep equal keys in their original
 // (ascending-position) order.
-func sortBucket(keys []uint32, pos []int32) {
+func sortBucket(keys []uint32, pos []int64) {
 	if len(keys) > 64 {
 		type kp struct {
 			key uint32
-			pos int32
+			pos int64
 		}
 		tmp := make([]kp, len(keys))
 		for i := range keys {
@@ -447,6 +476,11 @@ func sortBucket(keys []uint32, pos []int32) {
 // K returns the seed length.
 func (x *Index) K() int { return x.k }
 
+// Step returns the seed step: 1 when every window is indexed, s when only
+// windows starting at contig-relative offsets divisible by s are. Seeding
+// probes Step consecutive read offsets per pigeonhole seed to compensate.
+func (x *Index) Step() int { return x.step }
+
 // Ref returns the indexed reference's concatenated sequence.
 func (x *Index) Ref() []byte { return x.seq }
 
@@ -460,7 +494,7 @@ func (x *Index) Reference() *Reference { return x.ref }
 // sequence; every hit's k-window lies wholly inside one contig.
 //
 //gk:noalloc
-func (x *Index) Lookup(seed []byte) []int32 {
+func (x *Index) Lookup(seed []byte) []int64 {
 	metrics.SeedLookups.Inc()
 	if len(seed) != x.k {
 		return nil

@@ -11,8 +11,8 @@ import (
 
 // mapOracle is the seed implementation's map layout, kept as the oracle the
 // CSR index must reproduce hit for hit.
-func mapOracle(ref []byte, k int) map[uint32][]int32 {
-	oracle := make(map[uint32][]int32)
+func mapOracle(ref []byte, k int) map[uint32][]int64 {
+	oracle := make(map[uint32][]int64)
 	var key uint32
 	mask := uint32(1)<<(2*k) - 1
 	valid := 0
@@ -26,7 +26,7 @@ func mapOracle(ref []byte, k int) map[uint32][]int32 {
 		key = (key<<2 | uint32(code)) & mask
 		valid++
 		if valid >= k {
-			oracle[key] = append(oracle[key], int32(i-k+1))
+			oracle[key] = append(oracle[key], int64(i-k+1))
 		}
 	}
 	return oracle
@@ -191,7 +191,7 @@ func TestIndexLookupZeroAllocs(t *testing.T) {
 	}
 	hit := ref[500 : 500+DefaultSeedLen]
 	miss := dna.RandomSeq(rng, DefaultSeedLen)
-	var sink []int32
+	var sink []int64
 	if allocs := testing.AllocsPerRun(1000, func() {
 		sink = idx.Lookup(hit)
 		sink = idx.Lookup(miss)

@@ -1,0 +1,272 @@
+package mapper
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// serializeToBytes round-trips the index through an in-memory buffer.
+func serializeToBytes(t *testing.T, x *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := x.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIndexSerializeRoundTrip pins the load to bit-identical arrays: every
+// slab of the loaded index equals the built one, across steps and across
+// an index whose keys slab needs padding (odd entry count).
+func TestIndexSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	r := testReference(t, rng, 3, 8_009)
+	for _, step := range []int{1, 4} {
+		built, err := NewSteppedReferenceIndex(r, 11, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := serializeToBytes(t, built)
+		loaded, err := LoadIndex(bytes.NewReader(data), r)
+		if err != nil {
+			t.Fatalf("step=%d: %v", step, err)
+		}
+		if loaded.K() != built.K() || loaded.Step() != built.Step() ||
+			loaded.shift != built.shift || loaded.distinct != built.distinct {
+			t.Fatalf("step=%d: scalar fields differ after round trip", step)
+		}
+		if !reflect.DeepEqual(built.offsets, loaded.offsets) {
+			t.Fatalf("step=%d: offsets differ after round trip", step)
+		}
+		if len(built.keys) != len(loaded.keys) || len(built.pos) != len(loaded.pos) {
+			t.Fatalf("step=%d: entry count differs after round trip", step)
+		}
+		for i := range built.keys {
+			if built.keys[i] != loaded.keys[i] || built.pos[i] != loaded.pos[i] {
+				t.Fatalf("step=%d: entry %d differs after round trip", step, i)
+			}
+		}
+		// Behavior, not just representation: every reference window looks up
+		// identically in both.
+		seq := r.Seq()
+		for i := 0; i+11 <= len(seq); i += 13 {
+			a, b := built.Lookup(seq[i:i+11]), loaded.Lookup(seq[i:i+11])
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("step=%d: Lookup@%d differs after round trip", step, i)
+			}
+		}
+	}
+}
+
+// TestIndexSerializeEmpty pins the zero-entry edge: a reference of only
+// undefined bases serializes and loads with no entries and nil lookups.
+func TestIndexSerializeEmpty(t *testing.T) {
+	seq := bytes.Repeat([]byte{'N'}, 500)
+	copy(seq, "ACGTACGTACG") // 11 defined bases < k=13: still zero indexable windows
+	r := SingleContig("chrN", seq)
+	built, err := NewSteppedReferenceIndex(r, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Entries() != 0 {
+		t.Fatalf("expected an empty index, got %d entries", built.Entries())
+	}
+	loaded, err := LoadIndex(bytes.NewReader(serializeToBytes(t, built)), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Entries() != 0 || loaded.DistinctKmers() != 0 {
+		t.Fatalf("loaded empty index has %d entries", loaded.Entries())
+	}
+	if got := loaded.Lookup([]byte("ACGTACGTACGTA")); got != nil {
+		t.Fatalf("empty index returned %d hits", len(got))
+	}
+}
+
+// TestIndexFileRoundTripMappingIdentity is the differential oracle the
+// tentpole demands: build → serialize → load → map must produce SAM output
+// byte-for-byte identical to build → map, through the full pipeline
+// (NewFromSerializedIndex, with the config adopting the file's geometry).
+func TestIndexFileRoundTripMappingIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	r := testReference(t, rng, 4, 6_007)
+	for _, step := range []int{1, 3} {
+		idx, err := NewSteppedReferenceIndex(r, 11, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "ref.gkix")
+		if err := idx.SerializeToFile(path); err != nil {
+			t.Fatal(err)
+		}
+
+		const L = 72
+		var reads [][]byte
+		var names []string
+		for i := 0; i < 300; i++ {
+			ci := rng.Intn(r.NumContigs())
+			cs := r.ContigSeq(ci)
+			p := rng.Intn(len(cs) - L)
+			read := append([]byte(nil), cs[p:p+L]...)
+			// Sprinkle a few substitutions so verification works too.
+			for e := 0; e < rng.Intn(3); e++ {
+				read[rng.Intn(L)] = "ACGT"[rng.Intn(4)]
+			}
+			reads = append(reads, read)
+			names = append(names, fmt.Sprintf("r%d", i))
+		}
+
+		cfg := Config{ReadLen: L, MaxE: 3, SeedLen: 11, SeedStep: step, Traceback: true}
+		mem, err := NewFromReference(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Adopt geometry from the file: zero SeedLen/SeedStep.
+		disk, err := NewFromSerializedIndex(r, path, Config{ReadLen: L, MaxE: 3, Traceback: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disk.Index().K() != 11 || disk.Index().Step() != step {
+			t.Fatalf("adopted geometry k=%d step=%d, want 11/%d", disk.Index().K(), disk.Index().Step(), step)
+		}
+
+		memMaps, _, err := mem.MapReads(reads, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskMaps, _, err := disk.MapReads(reads, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var memSAM, diskSAM bytes.Buffer
+		if err := WriteSAM(&memSAM, r, names, reads, memMaps); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSAM(&diskSAM, r, names, reads, diskMaps); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(memSAM.Bytes(), diskSAM.Bytes()) {
+			t.Fatalf("step=%d: SAM output differs between in-memory and loaded index", step)
+		}
+		if memSAM.Len() == 0 {
+			t.Fatal("differential oracle vacuous: no SAM output")
+		}
+	}
+}
+
+// TestNewFromSerializedIndexGeometryMismatch: a non-zero config geometry
+// that disagrees with the file is an error, never a silent rebuild.
+func TestNewFromSerializedIndexGeometryMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	r := testReference(t, rng, 2, 4_001)
+	idx, err := NewSteppedReferenceIndex(r, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ref.gkix")
+	if err := idx.SerializeToFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromSerializedIndex(r, path, Config{ReadLen: 100, MaxE: 2, SeedLen: 13}); !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("SeedLen mismatch: got %v, want ErrIndexMismatch", err)
+	}
+	if _, err := NewFromSerializedIndex(r, path, Config{ReadLen: 100, MaxE: 2, SeedStep: 2}); !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("SeedStep mismatch: got %v, want ErrIndexMismatch", err)
+	}
+	if _, err := NewFromSerializedIndex(r, path, Config{ReadLen: 100, MaxE: 2, SeedLen: 12, SeedStep: 3}); err != nil {
+		t.Fatalf("matching explicit geometry rejected: %v", err)
+	}
+}
+
+// TestLoadIndexCorruption drives every named failure path with errors.Is.
+func TestLoadIndexCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	r := testReference(t, rng, 2, 5_003)
+	idx, err := NewSteppedReferenceIndex(r, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := serializeToBytes(t, idx)
+
+	load := func(data []byte) error {
+		_, err := LoadIndex(bytes.NewReader(data), r)
+		return err
+	}
+	if err := load(good); err != nil {
+		t.Fatalf("pristine file failed to load: %v", err)
+	}
+
+	// Truncation at several depths: inside the header, inside the arrays,
+	// inside the trailer.
+	for _, n := range []int{0, 10, indexHeaderLen - 1, indexHeaderLen + 5, len(good) / 2, len(good) - 9, len(good) - 1} {
+		if err := load(good[:n]); !errors.Is(err, ErrIndexTruncated) {
+			t.Errorf("truncated at %d of %d: got %v, want ErrIndexTruncated", n, len(good), err)
+		}
+	}
+
+	corrupt := func(off int, b byte) []byte {
+		c := append([]byte(nil), good...)
+		c[off] ^= b
+		return c
+	}
+	if err := load(corrupt(0, 0xff)); !errors.Is(err, ErrIndexMagic) {
+		t.Errorf("bad magic: got %v, want ErrIndexMagic", err)
+	}
+	if err := load(corrupt(8, 0xff)); !errors.Is(err, ErrIndexMagic) {
+		t.Errorf("bad byte-order marker: got %v, want ErrIndexMagic", err)
+	}
+	if err := load(corrupt(4, 0x02)); !errors.Is(err, ErrIndexVersion) {
+		t.Errorf("bad version: got %v, want ErrIndexVersion", err)
+	}
+	if err := load(corrupt(16, 0xff)); !errors.Is(err, ErrIndexGeometry) {
+		t.Errorf("absurd k: got %v, want ErrIndexGeometry", err)
+	}
+	if err := load(corrupt(40, 0x01)); !errors.Is(err, ErrIndexGeometry) {
+		t.Errorf("non-power-of-two bucket count: got %v, want ErrIndexGeometry", err)
+	}
+	if err := load(corrupt(64, 0x01)); !errors.Is(err, ErrIndexMismatch) {
+		t.Errorf("wrong reference length: got %v, want ErrIndexMismatch", err)
+	}
+	if err := load(corrupt(80, 0x01)); !errors.Is(err, ErrIndexMismatch) {
+		t.Errorf("wrong reference fingerprint: got %v, want ErrIndexMismatch", err)
+	}
+	// One flipped bit anywhere in the payload must fail the checksum.
+	for _, off := range []int{indexHeaderLen, indexHeaderLen + 8*len(idx.offsets), len(good) - 9} {
+		if err := load(corrupt(off, 0x10)); !errors.Is(err, ErrIndexChecksum) {
+			t.Errorf("payload flip at %d: got %v, want ErrIndexChecksum", off, err)
+		}
+	}
+	// A flipped trailer byte is also a checksum mismatch (stored != computed).
+	if err := load(corrupt(len(good)-1, 0x10)); !errors.Is(err, ErrIndexChecksum) {
+		t.Errorf("trailer flip: got %v, want ErrIndexChecksum", err)
+	}
+
+	// Wrong reference entirely.
+	other := testReference(t, rand.New(rand.NewSource(35)), 2, 5_003)
+	if _, err := LoadIndex(bytes.NewReader(good), other); !errors.Is(err, ErrIndexMismatch) {
+		t.Errorf("wrong reference: got %v, want ErrIndexMismatch", err)
+	}
+	// Same sequence, renamed contig: the fingerprint covers names too.
+	renamed := []dna.Record{}
+	for i, c := range r.Contigs() {
+		name := c.Name
+		if i == 0 {
+			name = "renamed"
+		}
+		renamed = append(renamed, dna.Record{Name: name, Seq: r.ContigSeq(i)})
+	}
+	rr, err := NewReference(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(bytes.NewReader(good), rr); !errors.Is(err, ErrIndexMismatch) {
+		t.Errorf("renamed contig: got %v, want ErrIndexMismatch", err)
+	}
+}

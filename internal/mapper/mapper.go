@@ -37,6 +37,14 @@ type Config struct {
 	ReadLen int
 	MaxE    int
 	SeedLen int // defaults to DefaultSeedLen
+	// SeedStep samples the index: only reference windows starting at
+	// contig-relative offsets divisible by SeedStep are indexed
+	// (accel-align's kmer_step), shrinking the index ~SeedStep× while
+	// seeding probes SeedStep consecutive read offsets per pigeonhole seed
+	// to compensate. Zero or 1 indexes every window (bit-identical to the
+	// unstepped mapper). Must leave the probe span inside the read:
+	// SeedStep <= ReadLen-SeedLen+1.
+	SeedStep int
 	// MaxReadsPerBatch is the number of reads whose candidates are batched
 	// into one filtering round (Table 1; the paper finds 100,000 best).
 	MaxReadsPerBatch int
@@ -56,6 +64,9 @@ type Config struct {
 func (c *Config) applyDefaults() {
 	if c.SeedLen == 0 {
 		c.SeedLen = DefaultSeedLen
+	}
+	if c.SeedStep == 0 {
+		c.SeedStep = 1
 	}
 	if c.MaxReadsPerBatch == 0 {
 		c.MaxReadsPerBatch = 100_000
@@ -185,10 +196,22 @@ func NewFromReference(ref *Reference, cfg Config) (*Mapper, error) {
 	if cfg.SeedLen > cfg.ReadLen {
 		return nil, fmt.Errorf("mapper: seed length %d exceeds read length %d", cfg.SeedLen, cfg.ReadLen)
 	}
-	idx, err := NewReferenceIndex(ref, cfg.SeedLen)
+	if cfg.SeedStep < 1 || cfg.SeedStep > cfg.ReadLen-cfg.SeedLen+1 {
+		return nil, fmt.Errorf("mapper: seed step %d outside [1,%d] (probe span must fit the read)",
+			cfg.SeedStep, cfg.ReadLen-cfg.SeedLen+1)
+	}
+	idx, err := NewSteppedReferenceIndex(ref, cfg.SeedLen, cfg.SeedStep)
 	if err != nil {
 		return nil, err
 	}
+	return newMapperWithIndex(ref, cfg, idx)
+}
+
+// newMapperWithIndex is the tail of NewFromReference, shared with
+// NewFromSerializedIndex: wrap an already-built (or loaded) index and wire
+// the optional candidate filter. cfg must already be validated and idx must
+// index ref with cfg's seed geometry.
+func newMapperWithIndex(ref *Reference, cfg Config, idx *Index) (*Mapper, error) {
 	m := &Mapper{cfg: cfg, ref: ref, idx: idx}
 	if cf, ok := cfg.Filter.(CandidateFilter); ok {
 		if err := cf.SetReference(ref.Seq()); err != nil {
@@ -199,6 +222,45 @@ func NewFromReference(ref *Reference, cfg Config) (*Mapper, error) {
 	return m, nil
 }
 
+// NewFromSerializedIndex builds a Mapper from a reference plus a GKIX index
+// file previously written by Index.Serialize (cmd/gkindex), skipping the
+// index build. The file must have been built from ref (ErrIndexMismatch
+// otherwise, via the serialized fingerprint). The index's seed geometry is
+// authoritative: when cfg.SeedLen or cfg.SeedStep is zero the mapper adopts
+// the file's k or step, and a non-zero value that disagrees with the file is
+// an ErrIndexMismatch — mapping silently with a different geometry than the
+// index was built for is never right.
+func NewFromSerializedIndex(ref *Reference, path string, cfg Config) (*Mapper, error) {
+	idx, err := LoadIndexFile(path, ref)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SeedLen != 0 && cfg.SeedLen != idx.K() {
+		return nil, fmt.Errorf("%w: config seed length %d, index built with k=%d",
+			ErrIndexMismatch, cfg.SeedLen, idx.K())
+	}
+	if cfg.SeedStep != 0 && cfg.SeedStep != idx.Step() {
+		return nil, fmt.Errorf("%w: config seed step %d, index built with step=%d",
+			ErrIndexMismatch, cfg.SeedStep, idx.Step())
+	}
+	cfg.SeedLen, cfg.SeedStep = idx.K(), idx.Step()
+	cfg.applyDefaults()
+	if cfg.ReadLen <= 0 {
+		return nil, fmt.Errorf("mapper: read length %d", cfg.ReadLen)
+	}
+	if cfg.MaxE < 0 || cfg.MaxE >= cfg.ReadLen {
+		return nil, fmt.Errorf("mapper: error threshold %d outside [0,%d)", cfg.MaxE, cfg.ReadLen)
+	}
+	if cfg.SeedLen > cfg.ReadLen {
+		return nil, fmt.Errorf("mapper: seed length %d exceeds read length %d", cfg.SeedLen, cfg.ReadLen)
+	}
+	if cfg.SeedStep < 1 || cfg.SeedStep > cfg.ReadLen-cfg.SeedLen+1 {
+		return nil, fmt.Errorf("mapper: seed step %d outside [1,%d] (probe span must fit the read)",
+			cfg.SeedStep, cfg.ReadLen-cfg.SeedLen+1)
+	}
+	return newMapperWithIndex(ref, cfg, idx)
+}
+
 // Index exposes the underlying k-mer index.
 func (m *Mapper) Index() *Index { return m.idx }
 
@@ -207,13 +269,21 @@ func (m *Mapper) Reference() *Reference { return m.ref }
 
 // candidates runs pigeonhole seeding for one read: e+1 seeds at evenly
 // spread offsets; each hit proposes the window that would place the read at
-// that seed offset. Windows that would run past the start or end of the
-// hit's contig — including into a neighbouring contig of the concatenated
-// sequence — are dropped here, before filtering, so a cross-boundary
-// candidate never reaches verification. Duplicates are merged.
-func (m *Mapper) candidates(read []byte, e int) []int32 {
+// that seed offset. When the index is stepped, each pigeonhole seed fans
+// out over the step consecutive read offsets starting at its own — the
+// index holds one in every step contig-relative window starts, so whatever
+// phase the true alignment has, exactly one probe in the fan lines up with
+// a sampled reference window (found whenever the k+step-1 bases around the
+// seed are error-free, the stepped pigeonhole trade-off); at step 1 the fan
+// is the single historical probe. Windows that would run past the start or
+// end of the hit's contig — including into a neighbouring contig of the
+// concatenated sequence — are dropped here, before filtering, so a
+// cross-boundary candidate never reaches verification. Duplicates are
+// merged.
+func (m *Mapper) candidates(read []byte, e int) []int64 {
 	L := m.cfg.ReadLen
 	k := m.idx.k
+	step := m.idx.step
 	nSeeds := e + 1
 	if maxSeeds := L / k; nSeeds > maxSeeds {
 		nSeeds = maxSeeds
@@ -221,7 +291,7 @@ func (m *Mapper) candidates(read []byte, e int) []int32 {
 	if nSeeds < 1 {
 		nSeeds = 1
 	}
-	var out []int32
+	var out []int64
 	for s := 0; s < nSeeds; s++ {
 		var off int
 		if nSeeds == 1 {
@@ -229,15 +299,18 @@ func (m *Mapper) candidates(read []byte, e int) []int32 {
 		} else {
 			off = s * (L - k) / (nSeeds - 1)
 		}
-		for _, hit := range m.idx.Lookup(read[off : off+k]) {
-			pos := hit - int32(off) //gk:allow coordsafe: off < ReadLen; index positions are int32-guarded at build (NewIndex caps Len at MaxInt32)
-			// The hit's k-window is inside one contig by construction; the
-			// proposed read window must be too — WindowContig rejects
-			// windows out of range or straddling a contig boundary.
-			if m.ref.WindowContig(int(pos), L) < 0 {
-				continue
+		for o := off; o < off+step && o+k <= L; o++ {
+			for _, hit := range m.idx.Lookup(read[o : o+k]) {
+				pos := hit - int64(o)
+				// The hit's k-window is inside one contig by construction;
+				// the proposed read window must be too — WindowContig
+				// rejects windows out of range or straddling a contig
+				// boundary.
+				if m.ref.WindowContig(int(pos), L) < 0 {
+					continue
+				}
+				out = append(out, pos)
 			}
-			out = append(out, pos)
 		}
 	}
 	if len(out) == 0 {
@@ -356,9 +429,9 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 		seedStart := time.Now()
 		type cand struct {
 			query int // index into batch/queries
-			pos   int32
+			pos   int64
 		}
-		perQuery := make([][]int32, len(batch))
+		perQuery := make([][]int64, len(batch))
 		parallelFor(m.workerCount(len(batch)), len(batch), 8, func(lo, hi int) {
 			for qi := lo; qi < hi; qi++ {
 				perQuery[qi] = m.candidates(batch[qi], e)
@@ -395,7 +468,7 @@ func (m *Mapper) MapReads(reads [][]byte, e int) ([]Mapping, Stats, error) {
 			filtStart := time.Now()
 			gcands := make([]gkgpu.Candidate, len(cands))
 			for i, c := range cands {
-				gcands[i] = gkgpu.Candidate{ReadID: int32(c.query), Pos: c.pos} //gk:allow coordsafe: query indexes a batch, far below int32
+				gcands[i] = gkgpu.Candidate{ReadID: int64(c.query), Pos: c.pos}
 			}
 			res, err := m.candFilter.FilterCandidates(batch, gcands, e)
 			if err != nil {

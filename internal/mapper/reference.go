@@ -111,6 +111,13 @@ func (r *Reference) ContigSeq(i int) []byte {
 	return r.seq[c.Off:c.End()]
 }
 
+// ContigOff returns contig i's global offset in the concatenated sequence —
+// the sanctioned way to translate a contig-relative position into the global
+// coordinate space (the index build places global positions from it).
+//
+//gk:noalloc
+func (r *Reference) ContigOff(i int) int { return r.contigs[i].Off }
+
 // ContigOf returns the index of the contig containing concatenated position
 // pos, or -1 when pos is outside the reference. Allocation-free (hot path:
 // every candidate's boundary check goes through here).

@@ -86,8 +86,8 @@ func TestReferenceValidation(t *testing.T) {
 
 // multiContigOracle is mapOracle with contig boundaries: windows roll per
 // contig, so nothing straddles.
-func multiContigOracle(r *Reference, k int) map[uint32][]int32 {
-	oracle := make(map[uint32][]int32)
+func multiContigOracle(r *Reference, k int) map[uint32][]int64 {
+	oracle := make(map[uint32][]int64)
 	for _, c := range r.Contigs() {
 		var key uint32
 		mask := uint32(1)<<(2*k) - 1
@@ -102,7 +102,7 @@ func multiContigOracle(r *Reference, k int) map[uint32][]int32 {
 			key = (key<<2 | uint32(code)) & mask
 			valid++
 			if valid >= k {
-				oracle[key] = append(oracle[key], int32(i-k+1))
+				oracle[key] = append(oracle[key], int64(i-k+1))
 			}
 		}
 	}
@@ -179,12 +179,12 @@ func TestShardedBuildIdentity(t *testing.T) {
 	}
 	r := mustReference(t, recs...)
 
-	seq, err := buildReferenceIndex(r, 11, 1) // sequential: one shard
+	seq, err := buildReferenceIndex(r, 11, 1, 1) // sequential: one shard
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, maxShards := range []int{2, 3, 8, 64} {
-		par, err := buildReferenceIndex(r, 11, maxShards)
+		par, err := buildReferenceIndex(r, 11, 1, maxShards)
 		if err != nil {
 			t.Fatal(err)
 		}

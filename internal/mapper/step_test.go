@@ -1,0 +1,222 @@
+package mapper
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// steppedOracle is mapOracle restricted to step-aligned contig-relative
+// window starts: the semantics the stepped CSR build must reproduce.
+func steppedOracle(r *Reference, k, step int) map[uint32][]int64 {
+	oracle := make(map[uint32][]int64)
+	mask := uint32(1)<<(2*k) - 1
+	for ci := 0; ci < r.NumContigs(); ci++ {
+		off := r.ContigOff(ci)
+		var key uint32
+		valid := 0
+		for i, b := range r.ContigSeq(ci) {
+			code, ok := dna.Code(b)
+			if !ok {
+				valid = 0
+				key = 0
+				continue
+			}
+			key = (key<<2 | uint32(code)) & mask
+			valid++
+			if valid >= k && (i-k+1)%step == 0 {
+				oracle[key] = append(oracle[key], int64(off+i-k+1))
+			}
+		}
+	}
+	return oracle
+}
+
+// testReference builds a small multi-contig reference with some 'N's.
+func testReference(t testing.TB, rng *rand.Rand, contigs, each int) *Reference {
+	t.Helper()
+	recs := make([]dna.Record, contigs)
+	for i := range recs {
+		recs[i] = dna.Record{Name: fmt.Sprintf("chr%d", i+1), Seq: randomRefWithNs(rng, each, 0.002)}
+	}
+	r, err := NewReference(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSteppedIndexIdentityAtStepOne pins the tentpole's compatibility
+// requirement bit-for-bit: a step-1 stepped build and the unstepped build
+// are the same index, arrays and all.
+func TestSteppedIndexIdentityAtStepOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := testReference(t, rng, 3, 10_000)
+	plain, err := NewReferenceIndex(r, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped, err := NewSteppedReferenceIndex(r, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.offsets, stepped.offsets) ||
+		!reflect.DeepEqual(plain.keys, stepped.keys) ||
+		!reflect.DeepEqual(plain.pos, stepped.pos) ||
+		plain.shift != stepped.shift || plain.distinct != stepped.distinct {
+		t.Fatal("step-1 build differs from the unstepped build")
+	}
+	if plain.Step() != 1 || stepped.Step() != 1 {
+		t.Fatalf("Step() = %d/%d, want 1/1", plain.Step(), stepped.Step())
+	}
+}
+
+// TestSteppedIndexMatchesOracle holds the stepped build to the sampled-map
+// semantics across steps, including steps that do not divide the contig
+// length (phase anchors at each contig start, not globally).
+func TestSteppedIndexMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	r := testReference(t, rng, 3, 7_003) // prime-ish lengths: junction phases differ
+	k := 11
+	for _, step := range []int{1, 2, 3, 5, 8, 16} {
+		idx, err := NewSteppedReferenceIndex(r, k, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := steppedOracle(r, k, step)
+		total := 0
+		for _, hits := range oracle {
+			total += len(hits)
+		}
+		if idx.Entries() != total {
+			t.Fatalf("step=%d: entries %d, oracle %d", step, idx.Entries(), total)
+		}
+		if idx.DistinctKmers() != len(oracle) {
+			t.Fatalf("step=%d: distinct %d, oracle %d", step, idx.DistinctKmers(), len(oracle))
+		}
+		seq := r.Seq()
+		for i := 0; i+k <= len(seq); i += 5 {
+			seed := seq[i : i+k]
+			if dna.HasN(seed) {
+				continue
+			}
+			got := idx.Lookup(seed)
+			want := oracle[packKey(seed)]
+			if len(got) != len(want) {
+				t.Fatalf("step=%d seed@%d: %d hits, want %d", step, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("step=%d seed@%d: hit[%d]=%d, want %d", step, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSteppedShardedBuildIdentity extends the shard-count invariance oracle
+// to stepped builds: the arrays must be bit-identical however the contigs
+// are sharded.
+func TestSteppedShardedBuildIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := testReference(t, rng, 7, 4_001)
+	for _, step := range []int{3, 8} {
+		seq, err := buildReferenceIndex(r, 11, step, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, maxShards := range []int{2, 3, 7, 64} {
+			par, err := buildReferenceIndex(r, 11, step, maxShards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.offsets, par.offsets) ||
+				!reflect.DeepEqual(seq.keys, par.keys) ||
+				!reflect.DeepEqual(seq.pos, par.pos) {
+				t.Fatalf("step=%d maxShards=%d: sharded build differs from sequential", step, maxShards)
+			}
+		}
+	}
+}
+
+// TestSteppedMappingFindsPlantedReads is the lookup/seeding sync guarantee:
+// with the step recorded in the index, an error-free read planted at ANY
+// phase offset — aligned to the sampling grid or not — must still map at
+// its true position, on every contig.
+func TestSteppedMappingFindsPlantedReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	recs := []dna.Record{
+		{Name: "chr1", Seq: dna.RandomSeq(rng, 9_001)},
+		{Name: "chr2", Seq: dna.RandomSeq(rng, 6_007)},
+	}
+	r, err := NewReference(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const L = 64
+	for _, step := range []int{2, 5, 13} {
+		m, err := NewFromReference(r, Config{ReadLen: L, MaxE: 3, SeedLen: 11, SeedStep: step})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Index().Step(); got != step {
+			t.Fatalf("index step %d, want %d", got, step)
+		}
+		var reads [][]byte
+		type want struct{ contig, pos int }
+		var wants []want
+		for ci := 0; ci < r.NumContigs(); ci++ {
+			cs := r.ContigSeq(ci)
+			// Every phase of the sampling grid, plus a tail position.
+			for ph := 0; ph < step+2; ph++ {
+				pos := 100 + ph
+				reads = append(reads, cs[pos:pos+L])
+				wants = append(wants, want{ci, pos})
+			}
+			reads = append(reads, cs[len(cs)-L:])
+			wants = append(wants, want{ci, len(cs) - L})
+		}
+		mappings, _, err := m.MapReads(reads, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := make([]bool, len(reads))
+		for _, mp := range mappings {
+			if mp.Contig == wants[mp.ReadID].contig && mp.Pos == wants[mp.ReadID].pos && mp.Distance == 0 {
+				found[mp.ReadID] = true
+			}
+		}
+		for i, ok := range found {
+			if !ok {
+				t.Errorf("step=%d: read %d (contig %d pos %d) not mapped at its true position",
+					step, i, wants[i].contig, wants[i].pos)
+			}
+		}
+	}
+}
+
+// TestSeedStepValidation pins the config- and index-level step guards.
+func TestSeedStepValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	r := SingleContig("", dna.RandomSeq(rng, 2_000))
+	if _, err := NewSteppedReferenceIndex(r, 11, 0); err == nil {
+		t.Error("step 0 accepted at the index level")
+	}
+	if _, err := NewSteppedReferenceIndex(r, 11, MaxSeedStep+1); err == nil {
+		t.Error("step beyond MaxSeedStep accepted")
+	}
+	if _, err := NewFromReference(r, Config{ReadLen: 50, MaxE: 2, SeedLen: 13, SeedStep: -1}); err == nil {
+		t.Error("negative SeedStep accepted")
+	}
+	// Probe span must fit the read: ReadLen-SeedLen+1 is the largest step
+	// that still guarantees one in-read probe per grid phase.
+	if _, err := NewFromReference(r, Config{ReadLen: 50, MaxE: 2, SeedLen: 13, SeedStep: 39}); err == nil {
+		t.Error("SeedStep beyond the probe span accepted")
+	}
+	if _, err := NewFromReference(r, Config{ReadLen: 50, MaxE: 2, SeedLen: 13, SeedStep: 38}); err != nil {
+		t.Errorf("largest legal SeedStep rejected: %v", err)
+	}
+}

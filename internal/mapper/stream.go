@@ -48,7 +48,7 @@ type streamQuery struct {
 // candMeta identifies the candidate behind one in-flight filtration.
 type candMeta struct {
 	q   streamQuery
-	pos int32
+	pos int64
 }
 
 // metaQueue is the FIFO matching stream results back to their candidates:
@@ -85,7 +85,7 @@ func (m *metaQueue) pop() candMeta {
 // verifyJob is one accepted candidate awaiting banded-DP verification.
 type verifyJob struct {
 	q         streamQuery
-	pos       int32
+	pos       int64
 	undefined bool
 }
 
@@ -205,7 +205,7 @@ func (m *Mapper) mapQueryStream(e int, feed func(ctx context.Context, out chan<-
 	// Seeding pool: oriented queries in, per-query candidate lists out.
 	type seeded struct {
 		q     streamQuery
-		cands []int32
+		cands []int64
 	}
 	jobs := make(chan streamQuery)
 	seededCh := make(chan seeded, 2*workers)

@@ -63,6 +63,75 @@ func Genome(cfg GenomeConfig) []byte {
 	return g
 }
 
+// genomeChunk is StreamGenome's generation granularity. Large enough that
+// per-chunk bookkeeping vanishes against base generation, small enough that
+// peak memory stays trivial next to any downstream consumer.
+const genomeChunk = 1 << 20
+
+// StreamGenome synthesizes a reference with the same statistical profile as
+// Genome — random backbone, diverged copies of a shared repeat library,
+// sprinkled 'N's — but generates it chunk by chunk into emit, so a contig
+// is never materialized: peak memory is one chunk plus the repeat-unit
+// library however large cfg.Length is. That is what lets gksim emit
+// genome-scale (multi-gigabase) references without OOM. Deterministic for a
+// given config; the chunked repeat placement means the byte stream differs
+// from Genome's for the same seed (both are draws from the same profile —
+// nothing may pin the two generators to each other). emit may retain
+// nothing: the chunk is reused.
+func StreamGenome(cfg GenomeConfig, emit func(chunk []byte) error) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	doRepeats := cfg.RepeatLen > 0 && cfg.RepeatFrac > 0 && cfg.Length > 2*cfg.RepeatLen
+	var units [][]byte
+	if doRepeats {
+		copies := int(float64(cfg.Length) * cfg.RepeatFrac / float64(cfg.RepeatLen))
+		nUnits := copies/4 + 1
+		// Cap the library: its point is shared sequence between distant
+		// sites, and a few thousand units already gives every downstream
+		// seed plenty of multi-hit k-mers; an uncapped library would grow
+		// O(Length) and defeat the constant-memory contract.
+		if nUnits > 4096 {
+			nUnits = 4096
+		}
+		units = make([][]byte, nUnits)
+		for i := range units {
+			units[i] = dna.RandomSeq(rng, cfg.RepeatLen)
+		}
+	}
+	buf := make([]byte, genomeChunk)
+	carry := 0.0 // fractional repeat copies owed across chunk boundaries
+	for off := 0; off < cfg.Length; off += genomeChunk {
+		n := cfg.Length - off
+		if n > genomeChunk {
+			n = genomeChunk
+		}
+		chunk := buf[:n]
+		dna.FillRandom(rng, chunk)
+		if doRepeats && n > cfg.RepeatLen {
+			carry += float64(n) * cfg.RepeatFrac / float64(cfg.RepeatLen)
+			copies := int(carry)
+			carry -= float64(copies)
+			for c := 0; c < copies; c++ {
+				u := units[rng.Intn(len(units))]
+				dst := rng.Intn(n - len(u) + 1)
+				for i, b := range u {
+					if rng.Float64() < cfg.RepeatDiv {
+						chunk[dst+i] = dna.Alphabet[rng.Intn(4)]
+					} else {
+						chunk[dst+i] = b
+					}
+				}
+			}
+		}
+		if cfg.NRate > 0 {
+			dna.SprinkleN(rng, chunk, cfg.NRate)
+		}
+		if err := emit(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadProfile is a Mason-like read simulation profile.
 type ReadProfile struct {
 	Name    string

@@ -1,6 +1,8 @@
 package simdata
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/align"
@@ -291,5 +293,73 @@ func TestSimulatePairs(t *testing.T) {
 	}
 	if _, err := SimulatePairs(g, Illumina100, 1, 50, 10, 1); err == nil {
 		t.Fatal("mean insert below read length accepted")
+	}
+}
+
+// streamToBytes collects a StreamGenome run (copying each reused chunk).
+func streamToBytes(t *testing.T, cfg GenomeConfig) []byte {
+	t.Helper()
+	var g []byte
+	if err := StreamGenome(cfg, func(chunk []byte) error {
+		g = append(g, chunk...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestStreamGenome holds the chunked generator to Genome's profile:
+// deterministic, exact length (including lengths that do not divide the
+// chunk size), ACGT+N composition, and planted repeats.
+func TestStreamGenome(t *testing.T) {
+	cfg := DefaultGenomeConfig(2_500_001) // spans 3 chunks, ragged tail
+	g := streamToBytes(t, cfg)
+	if len(g) != cfg.Length {
+		t.Fatalf("streamed genome length %d, want %d", len(g), cfg.Length)
+	}
+	if g2 := streamToBytes(t, cfg); !strings.HasPrefix(string(g), string(g2)) || len(g) != len(g2) {
+		t.Fatal("streamed generation not deterministic")
+	}
+	counts := map[byte]int{}
+	for _, b := range g {
+		counts[b]++
+	}
+	if counts['N'] == 0 {
+		t.Error("no assembly gaps planted")
+	}
+	for _, b := range []byte("ACGT") {
+		if counts[b] < len(g)/8 {
+			t.Errorf("base %c suspiciously rare: %d", b, counts[b])
+		}
+	}
+	seen := map[string]int{}
+	for i := 0; i+24 <= len(g); i += 24 {
+		seen[string(g[i:i+24])]++
+	}
+	dups := 0
+	for _, c := range seen {
+		if c > 1 {
+			dups++
+		}
+	}
+	if dups < 10 {
+		t.Errorf("only %d duplicated 24-mers; repeats not planted", dups)
+	}
+}
+
+// TestStreamGenomeEmitError: a failing sink stops generation immediately.
+func TestStreamGenomeEmitError(t *testing.T) {
+	want := fmt.Errorf("sink full")
+	calls := 0
+	err := StreamGenome(DefaultGenomeConfig(5_000_000), func([]byte) error {
+		calls++
+		return want
+	})
+	if err != want {
+		t.Fatalf("got %v, want the sink's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after failing", calls)
 	}
 }
