@@ -15,6 +15,13 @@
 //	gkfilter -set set1 -n 5000 -e 2 -filter sneakysnake
 //	gkfilter -pairs pairs.tsv -e 4 -v
 //	gkfilter -set set3 -n 100000 -e 5 -stream -gpus 4 -encoding host
+//	gkfilter -set set3 -n 50000 -e 5 -stream -gpus 2 -fault-rate 0.05 -fault-die 3
+//
+// -fault-rate/-fault-seed/-fault-die inject deterministic device faults into
+// a -stream run: the engine retries, quarantines dying devices and
+// redispatches their batches, so decisions stay bit-identical while any
+// device survives; with none left the run exits non-zero with the classified
+// fault taxonomy after draining its input.
 package main
 
 import (
@@ -45,6 +52,9 @@ func main() {
 		stream     = flag.Bool("stream", false, "filter through the streaming engine instead of the per-pair loop")
 		gpus       = flag.Int("gpus", 2, "simulated devices for -stream")
 		encoding   = flag.String("encoding", "host", "encoding actor for -stream: host or device")
+		faultRate  = flag.Float64("fault-rate", 0, "inject launch/transfer faults on every simulated GPU at this per-op probability (-stream only)")
+		faultSeed  = flag.Int64("fault-seed", 0, "fault schedule seed (0 = derive from -seed)")
+		faultDie   = flag.Int("fault-die", 0, "simulated GPU 0 dies at its Nth launch (0 = never; -stream only)")
 	)
 	flag.Parse()
 
@@ -86,7 +96,12 @@ func main() {
 		if *filterName != "gatekeeper-gpu" {
 			fatal(fmt.Errorf("-stream runs the gatekeeper-gpu engine; it cannot run -filter %s", *filterName))
 		}
-		results, err := streamFilter(reads, refs, *e, *gpus, *encoding, *verbose)
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed + 1000
+		}
+		results, err := streamFilter(reads, refs, *e, *gpus, *encoding, *verbose,
+			faultConfig{rate: *faultRate, seed: fseed, dieAt: *faultDie})
 		if err != nil {
 			fatal(err)
 		}
@@ -114,9 +129,35 @@ func main() {
 	fmt.Printf("true rejects:  %s (rate %s)\n", metrics.FmtInt(c.TrueRejects), metrics.FmtPct(c.TrueRejectRate()))
 }
 
+// faultConfig carries the chaos-testing flags into the stream run.
+type faultConfig struct {
+	rate  float64
+	seed  int64
+	dieAt int
+}
+
+// inject attaches seeded fault plans to every device: launch and transfer
+// faults at the per-op rate on all devices, device 0 dying at launch dieAt.
+func (fc faultConfig) inject(cctx *cuda.Context) {
+	if fc.rate <= 0 && fc.dieAt <= 0 {
+		return
+	}
+	for i, d := range cctx.Devices() {
+		plan := cuda.NewFaultPlan(fc.seed+int64(i)).
+			WithRate(cuda.OpLaunch, fc.rate).
+			WithRate(cuda.OpTransfer, fc.rate/2)
+		if fc.dieAt > 0 && i == 0 {
+			plan.DieAtLaunch(fc.dieAt)
+		}
+		d.InjectFaults(plan)
+	}
+}
+
 // streamFilter runs every pair through Engine.FilterStream in input order and
-// reports the engine's modelled clocks.
-func streamFilter(reads, refs [][]byte, e, gpus int, encoding string, verbose bool) ([]gkgpu.Result, error) {
+// reports the engine's modelled clocks. Injected faults are survived
+// bit-identically while a device remains; a terminal failure surfaces as the
+// classified taxonomy error after the input fully drains.
+func streamFilter(reads, refs [][]byte, e, gpus int, encoding string, verbose bool, fc faultConfig) ([]gkgpu.Result, error) {
 	if len(reads) == 0 {
 		return nil, nil
 	}
@@ -148,13 +189,14 @@ func streamFilter(reads, refs [][]byte, e, gpus int, encoding string, verbose bo
 	if streamBatch > 1<<16 {
 		streamBatch = 1 << 16
 	}
+	cctx := cuda.NewUniformContext(gpus, cuda.GTX1080Ti())
 	eng, err := gkgpu.NewEngine(gkgpu.Config{ReadLen: L, MaxE: e, Encoding: enc,
-		MaxBatchPairs: 1 << 16, StreamBatchPairs: streamBatch},
-		cuda.NewUniformContext(gpus, cuda.GTX1080Ti()))
+		MaxBatchPairs: 1 << 16, StreamBatchPairs: streamBatch}, cctx)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.Close()
+	fc.inject(cctx)
 
 	in := make(chan gkgpu.Pair, 1024)
 	out, err := eng.FilterStream(context.Background(), in, e)

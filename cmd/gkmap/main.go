@@ -41,12 +41,22 @@
 // references the build dominates startup, the load is a single sequential
 // read — and adopts the file's recorded seed length and step, so no -k or
 // -seedstep bookkeeping can drift between indexing and mapping.
+//
+// -fault-rate/-fault-seed/-fault-die inject deterministic faults into the
+// simulated GPUs (gpu prefilter only): the streaming engine retries,
+// quarantines dying devices and redispatches their work, so the output is
+// bit-identical while any device survives; with none left the run exits
+// non-zero with the classified fault taxonomy. -sam always writes through a
+// temp file in the destination directory renamed into place on success, so
+// no failure mode leaves a truncated .sam behind.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/cuda"
 	"repro/internal/dna"
@@ -83,6 +93,9 @@ func main() {
 		insMin    = flag.Int("insert-min", 0, "insert window minimum (0 = estimate this bound from the data)")
 		insMax    = flag.Int("insert-max", 0, "insert window maximum (0 = estimate this bound from the data)")
 		showMet   = flag.Bool("metrics", false, "print the internal hot-path counters (filtrations, seed lookups, contig locates)")
+		faultRate = flag.Float64("fault-rate", 0, "inject launch/transfer faults on every simulated GPU at this per-op probability (chaos testing; gpu prefilter only)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault schedule seed (0 = derive from -seed)")
+		faultDie  = flag.Int("fault-die", 0, "simulated GPU 0 dies at its Nth launch (0 = never; gpu prefilter only)")
 	)
 	flag.Parse()
 
@@ -183,13 +196,20 @@ func main() {
 		if *encoding == "host" {
 			enc = gkgpu.EncodeOnHost
 		}
+		cctx := cuda.NewUniformContext(*nGPUs, cuda.GTX1080Ti())
 		eng, err := gkgpu.NewEngine(gkgpu.Config{
 			ReadLen: *readLen, MaxE: *e, Encoding: enc, MaxBatchPairs: 1 << 16,
-		}, cuda.NewUniformContext(*nGPUs, cuda.GTX1080Ti()))
+		}, cctx)
 		if err != nil {
 			fatal(err)
 		}
 		defer eng.Close()
+		// Fault plans attach after the engine's own buffer allocation so a
+		// chaos run exercises the streaming retry/redispatch machinery, not
+		// startup. Streams survive (bit-identically) while a device remains;
+		// otherwise the run exits non-zero with the classified taxonomy
+		// error and -sam leaves no partial file behind.
+		injectFaults(cctx, *faultRate, *faultSeed, *seed, *faultDie)
 		cfg.Filter = eng
 	case "cpu":
 		cpu, err := gkgpu.NewCPUEngine(*readLen, *e, 12, gkgpu.Setup1(), cuda.DefaultCostModel())
@@ -361,24 +381,67 @@ func main() {
 	}
 
 	if *samOut != "" {
-		fh, err := os.Create(*samOut)
-		if err != nil {
-			fatal(err)
-		}
-		if *paired {
-			err = mapper.WritePairedSAM(fh, ref, names, pairs, resolved)
-		} else {
-			err = mapper.WriteSAM(fh, ref, names, seqs, mappings)
-		}
-		// Close errors matter on a written artifact: the OS may defer the
-		// actual write until close.
-		if cerr := fh.Close(); err == nil {
-			err = cerr
-		}
+		err := writeSAMAtomic(*samOut, func(w io.Writer) error {
+			if *paired {
+				return mapper.WritePairedSAM(w, ref, names, pairs, resolved)
+			}
+			return mapper.WriteSAM(w, ref, names, seqs, mappings)
+		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *samOut)
+	}
+}
+
+// writeSAMAtomic writes the SAM through a temp file in the destination's
+// directory and renames it into place only after a clean close, so a crash,
+// a full disk, or a mapping failure upstream never leaves a truncated .sam
+// where a consumer (samtools, a workflow engine) would pick it up. On any
+// failure the temp file is removed and the destination is untouched.
+func writeSAMAtomic(dest string, write func(io.Writer) error) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(dest), filepath.Base(dest)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = tmp.Close()           //gk:allow errcheck: already failing; the remove is the cleanup that matters
+			_ = os.Remove(tmp.Name()) //gk:allow errcheck: best-effort cleanup on a failure path
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	// Sync before rename: the rename must never promote a file whose bytes
+	// the OS still holds only in cache.
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), dest)
+}
+
+// injectFaults attaches seeded fault plans to every device of the filter
+// context: launch and transfer faults at the given per-op rate on all
+// devices, plus device 0 dying at its dieAt'th launch.
+func injectFaults(cctx *cuda.Context, rate float64, faultSeed, seed int64, dieAt int) {
+	if rate <= 0 && dieAt <= 0 {
+		return
+	}
+	if faultSeed == 0 {
+		faultSeed = seed + 1000
+	}
+	for i, d := range cctx.Devices() {
+		plan := cuda.NewFaultPlan(faultSeed+int64(i)).
+			WithRate(cuda.OpLaunch, rate).
+			WithRate(cuda.OpTransfer, rate/2)
+		if dieAt > 0 && i == 0 {
+			plan.DieAtLaunch(dieAt)
+		}
+		d.InjectFaults(plan)
 	}
 }
 

@@ -164,6 +164,7 @@ type Device struct {
 	freeMem int64
 	events  []float64 // modelled kernel durations, seconds
 	power   PowerTrace
+	faults  *FaultPlan // nil outside fault-injection runs
 }
 
 // NewDevice instantiates a device with its full global memory free.

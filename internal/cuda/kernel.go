@@ -22,6 +22,13 @@ type KernelFunc func(worker, tid int)
 // run — the engine's only synchronization point, like the paper's
 // per-batch cudaDeviceSynchronize.
 func (d *Device) Launch(lc LaunchConfig, threads int, fn KernelFunc) error {
+	if d.faults != nil {
+		// Injected faults fire before any thread runs, so a failed launch
+		// leaves the buffers untouched and a retry reproduces the batch.
+		if err := d.faults.checkLaunch(); err != nil {
+			return err
+		}
+	}
 	if threads <= 0 {
 		return fmt.Errorf("cuda: launch with %d threads", threads)
 	}

@@ -50,6 +50,11 @@ func (d *Device) AllocUnified(n int) (*UMBuffer, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cuda: invalid unified allocation size %d", n)
 	}
+	if d.faults != nil {
+		if err := d.faults.checkAlloc(); err != nil {
+			return nil, err
+		}
+	}
 	if err := d.reserve(int64(n)); err != nil {
 		return nil, err
 	}
@@ -105,6 +110,9 @@ func (b *UMBuffer) PrefetchAsync(s *Stream) {
 	if !b.dev.Spec.SupportsPrefetch() {
 		return
 	}
+	if b.dev.faults != nil {
+		b.dev.faults.noteTransfer()
+	}
 	moved := b.migrate(0, len(b.data), OnDevice, true)
 	if s != nil {
 		s.addTransfer(float64(moved) / b.dev.Spec.PCIeBandwidth())
@@ -115,6 +123,9 @@ func (b *UMBuffer) PrefetchAsync(s *Stream) {
 // pages migrate to the device on demand (fault path). Engines call this when
 // a kernel reads a buffer that was not prefetched.
 func (b *UMBuffer) DeviceTouch(off, n int) {
+	if b.dev.faults != nil {
+		b.dev.faults.noteTransfer()
+	}
 	b.migrate(off, n, OnDevice, false)
 }
 

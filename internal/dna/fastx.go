@@ -220,7 +220,7 @@ func (s *FASTQScanner) Scan() bool {
 	for {
 		if !s.sc.Scan() {
 			if err := s.sc.Err(); err != nil {
-				s.err = fmt.Errorf("dna: fastq scan: %w", err)
+				s.err = fmt.Errorf("dna: fastq line %d: read failed: %w", s.line+1, err)
 			}
 			return false
 		}
@@ -267,7 +267,7 @@ func (s *FASTQScanner) Scan() bool {
 func (s *FASTQScanner) recordLine(what string) ([]byte, bool) {
 	if !s.sc.Scan() {
 		if err := s.sc.Err(); err != nil {
-			s.err = fmt.Errorf("dna: fastq scan: %w", err)
+			s.err = fmt.Errorf("dna: fastq line %d: read failed: %w", s.line+1, err)
 		} else {
 			s.err = fmt.Errorf("dna: fastq line %d: truncated record (missing %s)", s.line, what)
 		}

@@ -2,6 +2,8 @@ package dna
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -260,5 +262,63 @@ func TestFASTAWriterMatchesWriteFASTA(t *testing.T) {
 		if !bytes.Equal(back[i].Seq, recs[i].Seq) {
 			t.Fatalf("record %d sequence changed in round trip", i)
 		}
+	}
+}
+
+// failingReader yields its payload, then fails every subsequent Read with
+// its error — a disk dying mid-file.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestFASTQScannerMidStreamIOError(t *testing.T) {
+	// An I/O failure mid-stream must deliver every record decoded before the
+	// failure, then surface the underlying error with the line it struck —
+	// not a bare wrapped error a user can't locate in a multi-gigabyte file.
+	boom := errors.New("read: device not configured")
+	var in bytes.Buffer
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&in, "@r%d\nACGT\n+\nIIII\n", i)
+	}
+	sc := NewFASTQScanner(&failingReader{data: in.Bytes(), err: boom})
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("delivered %d records before the failure, want 3", n)
+	}
+	err := sc.Err()
+	if !errors.Is(err, boom) {
+		t.Fatalf("underlying I/O error not wrapped: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 13") {
+		t.Fatalf("error not line-numbered at the failure point: %v", err)
+	}
+
+	// Failure inside a record (between the sequence and its '+') goes
+	// through the in-record path and is line-numbered the same way.
+	partial := []byte("@r0\nACGT\n+\nIIII\n@r1\nACGT\n")
+	sc = NewFASTQScanner(&failingReader{data: partial, err: boom})
+	n = 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d records before the mid-record failure, want 1", n)
+	}
+	err = sc.Err()
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "line 7") {
+		t.Fatalf("mid-record I/O error mis-reported: %v", err)
 	}
 }

@@ -2,9 +2,11 @@ package gkgpu
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitvec"
@@ -23,6 +25,16 @@ type Stats struct {
 	Rejected  int64
 	Undefined int64
 	Batches   int64
+
+	// Fault-recovery counters. Retries counts batch attempts repeated after
+	// a transient fault, Redispatches counts batches moved to a surviving
+	// device after a quarantine, DevicesLost counts quarantine events. They
+	// are the only Stats fields a faulty-but-survived stream may change
+	// relative to a fault-free run: decisions and decision counters stay
+	// bit-identical.
+	Retries      int64
+	Redispatches int64
+	DevicesLost  int64
 
 	KernelSeconds     float64 // modelled device time (max across devices per round)
 	FilterSeconds     float64 // modelled end-to-end filtering time
@@ -50,6 +62,9 @@ func (s *Stats) add(d Stats) {
 	s.Rejected += d.Rejected
 	s.Undefined += d.Undefined
 	s.Batches += d.Batches
+	s.Retries += d.Retries
+	s.Redispatches += d.Redispatches
+	s.DevicesLost += d.DevicesLost
 	s.KernelSeconds += d.KernelSeconds
 	s.FilterSeconds += d.FilterSeconds
 	s.HostPrepSeconds += d.HostPrepSeconds
@@ -101,6 +116,10 @@ type deviceState struct {
 	// Host-side encode-pool scratch, disjoint from the kernel scratch so the
 	// encode of one buffer set can overlap the launch of the other.
 	encWords [][]uint64
+	// down marks the device quarantined: permanently failed (device lost)
+	// or repeatedly faulting. Quarantine outlives the stream that imposed
+	// it; every engine entry point skips down devices.
+	down atomic.Bool
 }
 
 // Engine is a GateKeeper-GPU instance bound to a context of simulated
@@ -181,19 +200,19 @@ func allocSet(dev *cuda.Device, batchPairs, seqBytes int) (*bufferSet, error) {
 	var err error
 	if set.readBuf, err = dev.AllocUnified(batchPairs * seqBytes); err != nil {
 		set.free()
-		return nil, fmt.Errorf("gkgpu: read buffer: %w", err)
+		return nil, fmt.Errorf("gkgpu: read buffer: %w", allocFault(dev, err))
 	}
 	if set.refBuf, err = dev.AllocUnified(batchPairs * seqBytes); err != nil {
 		set.free()
-		return nil, fmt.Errorf("gkgpu: reference buffer: %w", err)
+		return nil, fmt.Errorf("gkgpu: reference buffer: %w", allocFault(dev, err))
 	}
 	if set.flagBuf, err = dev.AllocUnified(batchPairs); err != nil {
 		set.free()
-		return nil, fmt.Errorf("gkgpu: flag buffer: %w", err)
+		return nil, fmt.Errorf("gkgpu: flag buffer: %w", allocFault(dev, err))
 	}
 	if set.resBuf, err = dev.AllocUnified(batchPairs * resultStride); err != nil {
 		set.free()
-		return nil, fmt.Errorf("gkgpu: result buffer: %w", err)
+		return nil, fmt.Errorf("gkgpu: result buffer: %w", allocFault(dev, err))
 	}
 	set.readBuf.Advise(cuda.AdvisePreferredDevice)
 	set.refBuf.Advise(cuda.AdvisePreferredDevice)
@@ -355,6 +374,8 @@ func (e *Engine) workload(pairs, errThreshold int) cuda.Workload {
 // Section 3.1 ("the batch size is equal for all devices to ensure a fair
 // workload"); a mixed Pascal/Kepler context hands the slower card
 // proportionally fewer pairs so the round's critical path shrinks.
+// Quarantined devices get zero weight, re-splitting the round across the
+// survivors; callers guarantee at least one device is live.
 func (e *Engine) roundShares(n int, w cuda.Workload) []int {
 	nDev := len(e.states)
 	shares := make([]int, nDev)
@@ -364,6 +385,9 @@ func (e *Engine) roundShares(n int, w cuda.Workload) []int {
 	weights := make([]float64, nDev)
 	total := 0.0
 	for i, st := range e.states {
+		if st.down.Load() {
+			continue
+		}
 		weights[i] = e.cfg.Model.PairRate(st.dev.Spec, w)
 		total += weights[i]
 	}
@@ -397,6 +421,9 @@ func (e *Engine) roundShares(n int, w cuda.Workload) []int {
 		if overflow == 0 {
 			break
 		}
+		if st.down.Load() {
+			continue
+		}
 		if room := st.sys.BatchPairs - shares[i]; room > 0 {
 			if room > overflow {
 				room = overflow
@@ -406,6 +433,37 @@ func (e *Engine) roundShares(n int, w cuda.Workload) []int {
 		}
 	}
 	return shares
+}
+
+// liveRoundCap sums the batch capacities of non-quarantined devices: how
+// many pairs one synchronized round can take.
+func (e *Engine) liveRoundCap() int {
+	cap := 0
+	for _, st := range e.states {
+		if st.down.Load() {
+			continue
+		}
+		cap += st.sys.BatchPairs
+	}
+	return cap
+}
+
+// classifyRoundErrs resolves a one-shot round's per-device errors: the first
+// failure is wrapped in the taxonomy, and a lost device is quarantined so
+// later calls re-weight onto the survivors. The one-shot paths do not retry —
+// the round already failed and the caller holds its inputs; FilterStream is
+// the fault-tolerant path.
+func (e *Engine) classifyRoundErrs(errs []error) error {
+	for di, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, cuda.ErrDeviceLost) {
+			e.states[di].down.Store(true)
+		}
+		return classifyFault(e.states[di].dev.ID, -1, 1, err)
+	}
+	return nil
 }
 
 // FilterPairs filters every pair at threshold e, batching across the
@@ -432,9 +490,9 @@ func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 
 	results := make([]Result, len(pairs))
 	wallStart := time.Now()
-	roundCap := 0
-	for _, st := range e.states {
-		roundCap += st.sys.BatchPairs
+	roundCap := e.liveRoundCap()
+	if roundCap == 0 && len(pairs) > 0 {
+		return nil, fmt.Errorf("%w: every device is quarantined", ErrDeviceLost)
 	}
 
 	// Round stats and device telemetry accumulate locally and are committed
@@ -467,10 +525,8 @@ func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 			lo = hi
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		if err := e.classifyRoundErrs(errs); err != nil {
+			return nil, err
 		}
 		rc := e.modelRound(shares, w)
 		acc.KernelSeconds += rc.kernel

@@ -116,6 +116,10 @@ type Config struct {
 	// the per-launch overhead. Zero picks a default, and values above the
 	// smallest per-device batch capacity are clamped to it.
 	StreamBatchPairs int
+
+	// Fault tunes the streaming engine's retry/quarantine reaction to device
+	// failures; the zero value takes the documented defaults.
+	Fault FaultPolicy
 }
 
 func (c *Config) applyDefaults() {
@@ -134,6 +138,7 @@ func (c *Config) applyDefaults() {
 	if c.MaxBatchPairs == 0 {
 		c.MaxBatchPairs = 1 << 20
 	}
+	c.Fault.applyDefaults()
 }
 
 // Validate rejects configurations the CUDA build could not compile.

@@ -105,7 +105,7 @@ func (e *Engine) SetReference(seq []byte) error {
 		buf, err := st.dev.AllocUnified(words * 8)
 		if err != nil {
 			ref.free()
-			return fmt.Errorf("gkgpu: reference buffer: %w", err)
+			return fmt.Errorf("gkgpu: reference buffer: %w", allocFault(st.dev, err))
 		}
 		raw := buf.Bytes()
 		for i, v := range encoded {
@@ -191,9 +191,9 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 	}
 
 	results := make([]Result, len(cands))
-	roundCap := 0
-	for _, st := range e.states {
-		roundCap += st.sys.BatchPairs
+	roundCap := e.liveRoundCap()
+	if roundCap == 0 && len(cands) > 0 {
+		return nil, fmt.Errorf("%w: every device is quarantined", ErrDeviceLost)
 	}
 
 	// As in FilterPairs, round stats and device telemetry accumulate locally
@@ -228,10 +228,8 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 			lo = hi
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		if err := e.classifyRoundErrs(errs); err != nil {
+			return nil, err
 		}
 		rc := e.modelRound(shares, w)
 		acc.KernelSeconds += rc.kernel

@@ -2,8 +2,10 @@ package gkgpu
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cuda"
@@ -30,11 +32,20 @@ const streamLinger = 2 * time.Millisecond
 // reorder collector that emits results in input order. The item type is the
 // stream's input unit: materialized Pairs on the FilterStream path,
 // index-named StreamCandidates on the FilterCandidateStream path.
+//
+// A batch that fails on a quarantined device travels back through the
+// collector and dispatcher to a surviving device, keeping its seq — the
+// ordering slot is assigned once, so redispatch cannot reorder the stream.
 type streamBatch[T any] struct {
 	seq   int
 	items []T
 	res   []Result
 	err   error
+
+	// Fault bookkeeping: retries made for this batch on the device that last
+	// ran it, and whether its failure was the one that quarantined a device.
+	retries     int64
+	quarantined bool
 
 	// Modelled timing, filled by the device that ran the batch. Telemetry is
 	// not committed here: the collector folds it in sequence order so an
@@ -64,7 +75,7 @@ type streamTally struct {
 	kernel, busy, prep, xfer []float64
 	decisions                Stats
 	records                  []kernelRecord
-	err                      error // first launch failure, if any
+	err                      error // terminal classified error, if any
 }
 
 // FilterStream filters pairs arriving on in at the given threshold and
@@ -82,12 +93,17 @@ type streamTally struct {
 // convention) so the stream keeps its ordering slot. Cancelling ctx stops
 // dispatch and closes the result channel after in-flight batches drain;
 // results not yet emitted are dropped. The channel closes when in is closed
-// and every result has been emitted. A kernel launch failure aborts the
-// stream as FilterPairs' error return would: emission stops at the failed
-// batch, nothing from it onward is counted, and the error is available from
-// StreamErr after the channel closes. An engine runs one stream or one
-// FilterPairs call at a time; concurrent calls serialize on the device
-// buffers.
+// and every result has been emitted.
+//
+// The stream is fault tolerant: a failed batch retries on its device under
+// Config.Fault's bounded-backoff policy; a device that keeps failing (or is
+// lost outright) is quarantined, and its in-flight and future batches
+// redispatch to the surviving devices with decisions, order, and decision
+// stats bit-identical to a fault-free run. Only when no device survives does
+// the stream abort terminally: emission stops, the input channel is drained
+// so producers never block, and StreamErr returns the first classified fault
+// wrapped in ErrStreamAborted. An engine runs one stream or one FilterPairs
+// call at a time; concurrent calls serialize on the device buffers.
 func (e *Engine) FilterStream(ctx context.Context, in <-chan Pair, errThreshold int) (<-chan Result, error) {
 	if errThreshold < 0 || errThreshold > e.cfg.MaxE {
 		return nil, fmt.Errorf("gkgpu: threshold %d outside compiled [0,%d]", errThreshold, e.cfg.MaxE)
@@ -109,19 +125,30 @@ func (e *Engine) FilterStream(ctx context.Context, in <-chan Pair, errThreshold 
 // StreamErr returns the terminal error of the most recently completed
 // stream, or nil. A stream whose result channel closed before every input
 // pair was answered either was cancelled (ctx) or failed; StreamErr
-// distinguishes the two.
+// distinguishes the two. A failure is the first classified DeviceFault,
+// wrapped in ErrStreamAborted — errors.Is matches both the abort and the
+// fault's taxonomy kind, and errors.As recovers the DeviceFault itself.
 func (e *Engine) StreamErr() error {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	return e.streamErr
 }
 
+func (e *Engine) setStreamErr(err error) {
+	e.statsMu.Lock()
+	e.streamErr = err
+	e.statsMu.Unlock()
+}
+
 // streamBatchPairs resolves the dispatch granularity against the smallest
-// per-device capacity.
+// live per-device capacity.
 func (e *Engine) streamBatchPairs() int {
-	minCap := e.states[0].sys.BatchPairs
-	for _, st := range e.states[1:] {
-		if st.sys.BatchPairs < minCap {
+	minCap := 0
+	for _, st := range e.states {
+		if st.down.Load() {
+			continue
+		}
+		if minCap == 0 || st.sys.BatchPairs < minCap {
 			minCap = st.sys.BatchPairs
 		}
 	}
@@ -129,24 +156,40 @@ func (e *Engine) streamBatchPairs() int {
 	if b == 0 {
 		b = defaultStreamBatchPairs
 	}
-	if b > minCap {
+	if minCap > 0 && b > minCap {
 		b = minCap
 	}
 	return b
 }
 
+// drainInput consumes a terminally failed stream's input to exhaustion, so a
+// producer that does not watch the stream's state never deadlocks on send.
+// Callers only invoke it on terminal failure, never on cancellation — a
+// cancelled producer is expected to stop on the same ctx, whereas a failed
+// stream's producer may know nothing and must be unblocked until it closes
+// the channel, as the stream contract requires.
+func drainInput[T any](in <-chan T) {
+	for range in {
+	}
+}
+
 // runStream owns a stream's lifetime: dispatching batches, fanning them out
-// to the per-device pipelines, reordering completions, and committing stats.
-// It is generic over the stream's input unit; ops provides the per-device
-// encode/launch stages and the cost-model workload shape.
+// to the per-device pipelines, reordering completions, redispatching batches
+// off quarantined devices, and committing stats. It is generic over the
+// stream's input unit; ops provides the per-device encode/launch stages and
+// the cost-model workload shape.
 func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold int, out chan<- Result, ops streamOps[T]) {
 	defer close(out)
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	if len(e.states) == 0 {
-		e.statsMu.Lock()
-		e.streamErr = fmt.Errorf("gkgpu: engine is closed")
-		e.statsMu.Unlock()
+		e.setStreamErr(fmt.Errorf("gkgpu: engine is closed"))
+		drainInput(in)
+		return
+	}
+	if e.liveStates() == 0 {
+		e.setStreamErr(fmt.Errorf("%w: %w: every device is quarantined", ErrStreamAborted, ErrDeviceLost))
+		drainInput(in)
 		return
 	}
 
@@ -157,9 +200,21 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 	// dispatch is unbuffered: a batch is accepted only when some device has
 	// a free buffer set, which bounds in-flight work to two batches per
 	// device. completed has room for every batch that can be in flight so
-	// device pipelines never stall on the collector.
+	// device pipelines never stall on the collector. resubmit carries
+	// batches bounced off a quarantined device back to the dispatcher for a
+	// surviving one; its capacity also covers every in-flight batch, so the
+	// collector never blocks on it. settled pulses when the collector
+	// finalizes a batch; after input ends the dispatcher waits on it until
+	// every issued batch has resolved, forwarding redispatches meanwhile.
 	dispatch := make(chan *streamBatch[T])
 	completed := make(chan *streamBatch[T], bufferSets*nDev+1)
+	// A dying device bounces at most its pipeline depth plus one in-hand
+	// batch (bufferSets+2); sized for every device dying, the collector's
+	// resubmit send can never block, so it always returns to draining
+	// completed — the property the pipeline's liveness rests on.
+	resubmit := make(chan *streamBatch[T], (bufferSets+2)*nDev)
+	settled := make(chan struct{}, 1)
+	var inFlight atomic.Int64
 
 	// Batches recycle through a pool: in-flight count is bounded (two per
 	// device plus the one being filled), so after warm-up the steady-state
@@ -171,6 +226,8 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 		if b, ok := pool.Get().(*streamBatch[T]); ok {
 			b.items = b.items[:0]
 			b.err = nil
+			b.retries = 0
+			b.quarantined = false
 			return b
 		}
 		return &streamBatch[T]{items: make([]T, 0, batchCap)}
@@ -183,17 +240,21 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 
 	var workers sync.WaitGroup
 	for di, st := range e.states {
+		if st.down.Load() {
+			continue // quarantined by an earlier stream or one-shot call
+		}
 		workers.Add(1)
 		go func(di int, st *deviceState) {
 			defer workers.Done()
-			streamWorker(e, di, st, errThreshold, dispatch, completed, ops)
+			streamWorker(e, ctx, di, st, errThreshold, dispatch, completed, ops)
 		}(di, st)
 	}
 
 	// Reorder collector: emit batches in sequence order, input order within
-	// each batch. After cancellation or a launch failure it keeps draining
-	// completions (so the device pipelines can finish) without emitting;
-	// aborted tells the dispatcher to stop accepting input on failure.
+	// each batch. A failed batch redispatches while survivors exist; the
+	// first failure with none left is terminal — emission stops, aborted
+	// tells the dispatcher, and completions keep draining so the device
+	// pipelines can finish.
 	tallyCh := make(chan streamTally, 1)
 	aborted := make(chan struct{})
 	go func() {
@@ -206,7 +267,42 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 		pending := make(map[int]*streamBatch[T])
 		next := 0
 		canceled, failed := false, false
+		finalize := func(b *streamBatch[T]) {
+			recycle(b)
+			inFlight.Add(-1)
+			select {
+			case settled <- struct{}{}:
+			default: // a wake-up is already pending
+			}
+		}
 		for b := range completed {
+			if b.err != nil {
+				// Retries spent on the failing device still count, whatever
+				// happens to the batch next.
+				tally.decisions.Retries += b.retries
+				b.retries = 0
+				if b.quarantined {
+					tally.decisions.DevicesLost++
+					b.quarantined = false
+				}
+				if !failed && ctx.Err() == nil && e.liveStates() > 0 {
+					// Redispatch: the batch keeps its seq, so emission order
+					// is untouched; a surviving device reruns the identical
+					// encode+launch, so decisions are bit-identical too.
+					b.err = nil
+					tally.decisions.Redispatches++
+					resubmit <- b // capacity covers every in-flight batch, the send cannot block
+					continue
+				}
+				if !failed && ctx.Err() == nil {
+					tally.err = fmt.Errorf("%w: %w", ErrStreamAborted, b.err)
+					failed = true
+					close(aborted)
+				}
+				// Terminal or cancelled: the batch is dropped undelivered.
+				finalize(b)
+				continue
+			}
 			pending[b.seq] = b
 			for {
 				nb, ok := pending[next]
@@ -215,16 +311,8 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 				}
 				delete(pending, next)
 				next++
-				if nb.err != nil && !failed {
-					// A launch failure aborts the stream like FilterPairs'
-					// error return: nothing from the failed batch onward is
-					// emitted or counted; the error surfaces via StreamErr.
-					tally.err = nb.err
-					failed = true
-					close(aborted)
-				}
 				if failed {
-					recycle(nb)
+					finalize(nb)
 					continue
 				}
 				// Clocks, decisions, and device telemetry tally here, in
@@ -235,6 +323,7 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 				tally.prep[nb.devIdx] += nb.prepSec
 				tally.xfer[nb.devIdx] += nb.xferSec
 				tally.decisions.Batches++
+				tally.decisions.Retries += nb.retries
 				tally.decisions.countDecisions(nb.res)
 				tally.records = append(tally.records, kernelRecord{
 					dev: e.states[nb.devIdx].dev, kt: nb.kernelSec, util: nb.util})
@@ -250,7 +339,7 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 						}
 					}
 				}
-				recycle(nb)
+				finalize(nb)
 			}
 		}
 		tallyCh <- tally
@@ -261,12 +350,24 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 	// full or until the linger window elapses, so a saturated stream ships
 	// whole batches while a sparse one still flushes with bounded latency.
 	// Batches come from the recycling pool, so steady-state dispatch
-	// performs no allocation.
+	// performs no allocation. The dispatcher doubles as the redispatch
+	// router: batches bounced off a quarantined device re-enter dispatch
+	// here, before fresh input, so they reach a surviving device promptly.
 	seq := 0
 	var batch *streamBatch[T]
 	linger := time.NewTimer(streamLinger)
 	if !linger.Stop() {
 		<-linger.C
+	}
+	forward := func(b *streamBatch[T]) bool {
+		select {
+		case dispatch <- b:
+			return true
+		case <-ctx.Done():
+			return false
+		case <-aborted:
+			return false
+		}
 	}
 	flush := func() bool {
 		if batch == nil || len(batch.items) == 0 {
@@ -281,13 +382,16 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 		} else {
 			b.res = b.res[:len(b.items)]
 		}
-		select {
-		case dispatch <- b:
-			return true
-		case <-ctx.Done():
+		inFlight.Add(1)
+		if !forward(b) {
+			inFlight.Add(-1)
 			return false
-		case <-aborted:
-			return false
+		}
+		return true
+	}
+	stopLinger := func() {
+		if !linger.Stop() {
+			<-linger.C
 		}
 	}
 receive:
@@ -301,6 +405,11 @@ receive:
 				batch = newBatch()
 			}
 			batch.items = append(batch.items, p)
+		case rb := <-resubmit:
+			if !forward(rb) {
+				break receive
+			}
+			continue receive
 		case <-ctx.Done():
 			break receive
 		case <-aborted:
@@ -312,25 +421,24 @@ receive:
 			select {
 			case p, ok := <-in:
 				if !ok {
-					if !linger.Stop() {
-						<-linger.C
-					}
+					stopLinger()
 					break receive
 				}
 				batch.items = append(batch.items, p)
-			case <-ctx.Done():
-				if !linger.Stop() {
-					<-linger.C
+			case rb := <-resubmit:
+				if !forward(rb) {
+					stopLinger()
+					break receive
 				}
+			case <-ctx.Done():
+				stopLinger()
 				break receive
 			case <-linger.C:
 				break drain
 			}
 		}
 		if len(batch.items) >= batchCap {
-			if !linger.Stop() {
-				<-linger.C
-			}
+			stopLinger()
 		}
 		if !flush() {
 			break receive
@@ -339,10 +447,32 @@ receive:
 	if ctx.Err() == nil {
 		flush()
 	}
+	// Input is done (closed, cancelled, or aborted), but redispatched
+	// batches may still be in flight: keep routing them until the collector
+	// has finalized everything issued.
+settle:
+	for inFlight.Load() > 0 {
+		select {
+		case rb := <-resubmit:
+			if !forward(rb) {
+				break settle
+			}
+		case <-settled:
+		case <-ctx.Done():
+			break settle
+		case <-aborted:
+			break settle
+		}
+	}
 	close(dispatch)
 	workers.Wait()
 	close(completed)
 	tally := <-tallyCh
+	if tally.err != nil {
+		// Terminal failure: honour the producer contract by draining the
+		// input the receive loop walked away from.
+		drainInput(in)
+	}
 
 	// Commit the stream's modelled clocks: the device that stayed busy the
 	// longest is the stream's critical path.
@@ -355,17 +485,18 @@ receive:
 	for _, r := range tally.records {
 		r.dev.RecordKernel(r.kt, r.util)
 	}
-	e.statsMu.Lock()
-	e.streamErr = tally.err
-	e.statsMu.Unlock()
+	e.setStreamErr(tally.err)
 	e.commitStats(acc)
 }
 
 // streamWorker is one device's half of the pipeline: an encode stage (this
 // goroutine) and a launch stage (a nested goroutine) connected by the two
 // buffer sets. While the launcher runs the kernel over one set, the encoder
-// fills the other — the double-buffered overlap the stream models.
-func streamWorker[T any](e *Engine, di int, st *deviceState, errThreshold int,
+// fills the other — the double-buffered overlap the stream models. When the
+// device is quarantined the worker bounces its current batch back through
+// completed (for redispatch) and stops consuming; the surviving workers own
+// the rest of the stream.
+func streamWorker[T any](e *Engine, ctx context.Context, di int, st *deviceState, errThreshold int,
 	dispatch <-chan *streamBatch[T], completed chan<- *streamBatch[T], ops streamOps[T]) {
 
 	type work struct {
@@ -382,7 +513,7 @@ func streamWorker[T any](e *Engine, di int, st *deviceState, errThreshold int,
 		defer close(launcherDone)
 		for wk := range ready {
 			b := wk.b
-			b.err = ops.launch(st, di, wk.set, b.items, errThreshold, b.res)
+			b.err = launchWithRetry(e, ctx, st, di, wk.set, b, errThreshold, ops)
 			if b.err == nil {
 				tallyBatch(e, st, di, b, ops.workload(len(b.items), errThreshold))
 			}
@@ -391,12 +522,65 @@ func streamWorker[T any](e *Engine, di int, st *deviceState, errThreshold int,
 		}
 	}()
 	for b := range dispatch {
+		if st.down.Load() {
+			b.err = classifyFault(st.dev.ID, b.seq, 0, cuda.ErrDeviceLost)
+			completed <- b //gk:allow streamsafe: completed's capacity covers every in-flight batch
+			break
+		}
 		set := <-free
 		ops.encode(st, set, b.items)
 		ready <- work{set: set, b: b} //gk:allow streamsafe: the launcher goroutine drains ready until this loop closes it
 	}
 	close(ready)
 	<-launcherDone
+}
+
+// launchWithRetry runs one batch's launch stage under the engine's fault
+// policy: transient failures retry on the same buffer set with doubling,
+// capped, ctx-interruptible backoff (the encode is still in the buffers, and
+// an injected fault fires before any kernel thread runs, so a retry
+// reproduces the batch exactly). A lost device, exhausted attempts, or
+// cancellation ends the loop with the classified fault; the first two also
+// quarantine the device, marking the batch so the collector counts the
+// quarantine event exactly once.
+func launchWithRetry[T any](e *Engine, ctx context.Context, st *deviceState, di int,
+	set *bufferSet, b *streamBatch[T], errThreshold int, ops streamOps[T]) error {
+
+	pol := e.cfg.Fault
+	backoff := pol.Backoff
+	for attempt := 1; ; attempt++ {
+		if st.down.Load() {
+			return classifyFault(st.dev.ID, b.seq, attempt-1, cuda.ErrDeviceLost)
+		}
+		err := ops.launch(st, di, set, b.items, errThreshold, b.res)
+		if err == nil {
+			return nil
+		}
+		fault := classifyFault(st.dev.ID, b.seq, attempt, err)
+		if lost := errors.Is(err, cuda.ErrDeviceLost); lost || attempt >= pol.MaxAttempts {
+			if st.down.CompareAndSwap(false, true) {
+				b.quarantined = true
+			}
+			return fault
+		}
+		if ctx.Err() != nil {
+			// Cancelled mid-batch: no quarantine — the fault was transient
+			// and the stream is winding down anyway.
+			return fault
+		}
+		b.retries++
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fault
+		}
+		backoff *= 2
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
 }
 
 // tallyBatch fills a completed batch's modelled clocks for the device that

@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6", "fig6-150", "fig6-250", "fig7", "fig8", "figs12",
 		"tables24", "tables25", "tables26", "occupancy", "ablation", "fig2",
 		"pipeline", "mapstream", "streamingest", "multicontig", "genomescale",
+		"chaos",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -115,6 +116,19 @@ func TestMapStreamExperimentRuns(t *testing.T) {
 	for _, want := range []string{"one-shot MapReads", "streaming MapStream", "byte-identical", "speedup"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("mapstream output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("chaos", tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fault rate", "redispatches", "bit-identical", "drained its producer", "taxonomy error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -18,6 +18,10 @@ import (
 //   - sync.WaitGroup.Add must not run inside the goroutine it accounts for:
 //     Add racing Wait is the classic leaked-goroutine/early-Wait bug. Add
 //     before go, Done inside.
+//   - time.Sleep is banned: a sleeping retry/backoff loop cannot observe
+//     cancellation, so a cancelled stream holds its worker (and everything
+//     draining behind it) for the full sleep. Back off with a time.Timer
+//     inside a select that also has a ctx.Done arm.
 //
 // The analyzer runs over the streaming packages only (gkgpu's pipelines and
 // the mapper's channel-fed core); other packages' incidental goroutines are
@@ -59,6 +63,10 @@ func (a *StreamSafe) Check(c *Context) {
 				case *ast.GoStmt:
 					if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
 						checkWaitGroupAdd(c, info, lit)
+					}
+				case *ast.CallExpr:
+					if isTimeSleep(info, n) {
+						c.Reportf("streamsafe", n.Pos(), "time.Sleep cannot observe cancellation; back off with a time.Timer in a select with a ctx.Done arm")
 					}
 				}
 				return true
@@ -151,6 +159,16 @@ func bufferedChanLocal(info *types.Info, fd *ast.FuncDecl, obj types.Object) boo
 		return true
 	})
 	return found
+}
+
+// isTimeSleep reports whether the call is time.Sleep.
+func isTimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time"
 }
 
 // checkWaitGroupAdd flags WaitGroup.Add calls lexically inside a spawned

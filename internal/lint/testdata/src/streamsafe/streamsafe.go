@@ -1,10 +1,15 @@
 // Package streamsafe is gklint analyzer testdata: sends must sit under a
 // select with a done/drain arm or target a locally bounded buffered
-// channel, and WaitGroup.Add must not run inside the goroutine it accounts
-// for.
+// channel, WaitGroup.Add must not run inside the goroutine it accounts
+// for, and retry/backoff loops must wait with a cancellable timer, never
+// time.Sleep.
 package streamsafe
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"time"
+)
 
 func guardedSend(ch chan int, done chan struct{}) {
 	go func() {
@@ -67,4 +72,28 @@ func cleanWaitGroup(wg *sync.WaitGroup, ch chan int) {
 		<-ch
 	}()
 	wg.Wait()
+}
+
+func badRetryBackoff(ctx context.Context, attempts int) {
+	for i := 0; i < attempts; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond) // want "time.Sleep cannot observe cancellation"
+	}
+}
+
+func cleanRetryBackoff(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C: // clean: the backoff wait carries a cancellation arm
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func allowedSleep() {
+	time.Sleep(time.Millisecond) //gk:allow streamsafe: testdata pacing guarantee
 }
