@@ -3,10 +3,12 @@
 //
 //	go run ./cmd/gklint ./...
 //
-// Diagnostics are printed one per line as file:line:col: analyzer: message,
-// and the exit status is non-zero when any finding survives. Suppressions
-// require a //gk:allow <analyzer>: <reason> comment on the flagged line or
-// the line above; unjustified or stale suppressions are findings themselves.
+// Diagnostics are printed one per line as file:line:col: analyzer: message
+// (or, with -json, one JSON object per line with file/line/col/analyzer/
+// message fields), and the exit status is non-zero when any finding
+// survives. Suppressions require a //gk:allow <analyzer>: <reason> comment
+// on the flagged line or the line above; unjustified or stale suppressions
+// are findings themselves.
 package main
 
 import (
@@ -19,8 +21,9 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON Lines (one object per finding)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gklint [./...]\n\ngklint always analyzes the whole module containing the working directory;\nthe ./... argument is accepted for familiarity.\n")
+		fmt.Fprintf(os.Stderr, "usage: gklint [-json] [./...]\n\ngklint always analyzes the whole module containing the working directory;\nthe ./... argument is accepted for familiarity.\n")
 	}
 	flag.Parse()
 	for _, arg := range flag.Args() {
@@ -48,13 +51,21 @@ func main() {
 		CheckRegistry:      true,
 		ReportUnusedAllows: true,
 	})
-	for _, d := range diags {
+	for i, d := range diags {
 		// Render paths relative to the module root so output is stable
 		// across checkouts.
 		if rel, err := filepath.Rel(root, d.Position.Filename); err == nil && !filepath.IsAbs(rel) {
-			d.Position.Filename = rel
+			diags[i].Position.Filename = rel
 		}
-		fmt.Println(d.String())
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "gklint: %d finding(s)\n", len(diags))

@@ -482,6 +482,9 @@ func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 				i, len(p.Read), len(p.Ref), e.cfg.ReadLen)
 		}
 	}
+	// Rounds run under runMu by design: the devices are the contended
+	// resource, and overlapping calls would interleave per-device batches.
+	//gk:allow lockcheck: runMu intentionally serializes whole filtering rounds, including each round's wg.Wait
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	if len(e.states) == 0 {
@@ -492,7 +495,7 @@ func (e *Engine) FilterPairs(pairs []Pair, errThreshold int) ([]Result, error) {
 	wallStart := time.Now()
 	roundCap := e.liveRoundCap()
 	if roundCap == 0 && len(pairs) > 0 {
-		return nil, fmt.Errorf("%w: every device is quarantined", ErrDeviceLost)
+		return nil, errAllQuarantined()
 	}
 
 	// Round stats and device telemetry accumulate locally and are committed

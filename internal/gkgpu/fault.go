@@ -75,6 +75,12 @@ func allocFault(dev *cuda.Device, err error) *DeviceFault {
 	return &DeviceFault{Kind: ErrAlloc, Device: dev.ID, Batch: -1, Attempts: 1, Err: err}
 }
 
+// errAllQuarantined is the round-level terminal condition: no live device
+// remains to take work.
+func errAllQuarantined() error {
+	return fmt.Errorf("%w: every device is quarantined", ErrDeviceLost)
+}
+
 // FaultPolicy tunes how the streaming engine reacts to device failures.
 // The zero value takes the defaults below.
 type FaultPolicy struct {

@@ -47,6 +47,9 @@ func (e *Engine) SetReference(seq []byte) error {
 	if len(seq) < e.cfg.ReadLen {
 		return fmt.Errorf("gkgpu: reference (%d) shorter than read length (%d)", len(seq), e.cfg.ReadLen)
 	}
+	// Replacing the reference must wait out running kernels; holding runMu
+	// across the parallel encode's wg.Wait is that waiting, by design.
+	//gk:allow lockcheck: runMu serializes reference replacement against running rounds and streams
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	if len(e.states) == 0 {
@@ -168,6 +171,8 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 				i, c.Pos, int(c.Pos)+L, e.ref.length)
 		}
 	}
+	// As in FilterPairs, rounds run under runMu by design.
+	//gk:allow lockcheck: runMu intentionally serializes whole filtering rounds, including each round's wg.Wait
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	if len(e.states) == 0 {
@@ -193,7 +198,7 @@ func (e *Engine) FilterCandidates(reads [][]byte, cands []Candidate, errThreshol
 	results := make([]Result, len(cands))
 	roundCap := e.liveRoundCap()
 	if roundCap == 0 && len(cands) > 0 {
-		return nil, fmt.Errorf("%w: every device is quarantined", ErrDeviceLost)
+		return nil, errAllQuarantined()
 	}
 
 	// As in FilterPairs, round stats and device telemetry accumulate locally

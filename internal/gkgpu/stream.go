@@ -180,10 +180,13 @@ func drainInput[T any](in <-chan T) {
 // the cost-model workload shape.
 func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold int, out chan<- Result, ops streamOps[T]) {
 	defer close(out)
+	// The stream owns every device for its whole life; runMu held across the
+	// pipeline (including its channel waits) is that ownership.
+	//gk:allow lockcheck: runMu intentionally serializes the whole stream against one-shot calls and reference replacement
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	if len(e.states) == 0 {
-		e.setStreamErr(fmt.Errorf("gkgpu: engine is closed"))
+		e.setStreamErr(fmt.Errorf("%w: engine is closed", ErrStreamAborted))
 		drainInput(in)
 		return
 	}
@@ -297,6 +300,7 @@ func runStream[T any](e *Engine, ctx context.Context, in <-chan T, errThreshold 
 				if !failed && ctx.Err() == nil {
 					tally.err = fmt.Errorf("%w: %w", ErrStreamAborted, b.err)
 					failed = true
+					//gk:allow chanlife: the failed flag above makes this close once-only; the guard is a boolean the flow analysis cannot track
 					close(aborted)
 				}
 				// Terminal or cancelled: the batch is dropped undelivered.

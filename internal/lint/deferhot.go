@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// DeferHot upgrades the noalloc guarantee from call-whitelist to
+// flow-aware. The noalloc analyzer bans allocation in //gk:noalloc
+// functions outright, but it judges statements, not paths: a defer or a
+// closure that only executes inside a loop costs one allocation per
+// iteration — the difference between "one defer per call" (tolerable in a
+// cold prologue) and "a defer per inner-loop pass" (a new hot-path
+// allocation the AllocsPerRun guards will catch only at the call sites
+// they pin).
+//
+// The analyzer computes the set of functions reachable from the annotated
+// roots through module-internal static calls, builds each reachable
+// function's CFG, and flags defer statements and escaping closure
+// allocations in blocks that lie on a cycle — whatever syntax (for, range,
+// goto) spells the loop. Closures the compiler provably inlines (bound to
+// a local, called directly, never escaping) are exempt, matching noalloc's
+// own exemption. Dynamic calls (interface methods, function values) are
+// not traversed; noalloc already flags those edges inside annotated
+// functions.
+type DeferHot struct {
+	built     bool
+	reachable map[string]bool // FuncKeys reachable from //gk:noalloc roots
+}
+
+// NewDeferHot returns the analyzer; the reachable set is computed from the
+// module on first use.
+func NewDeferHot() *DeferHot { return &DeferHot{} }
+
+// Name implements Analyzer.
+func (a *DeferHot) Name() string { return "deferhot" }
+
+// Check implements Analyzer.
+func (a *DeferHot) Check(c *Context) {
+	a.buildReachable(c)
+	info := c.Pkg.Info
+	for _, f := range c.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !a.reachable[FuncKey(obj)] {
+				continue
+			}
+			a.checkFunc(c, fd)
+		}
+	}
+}
+
+// buildReachable walks the module call graph once: edges are static calls
+// to module-internal functions, roots are the //gk:noalloc annotations.
+func (a *DeferHot) buildReachable(c *Context) {
+	if a.built {
+		return
+	}
+	a.built = true
+	a.reachable = map[string]bool{}
+
+	// Adjacency over FuncKeys, built from every function declaration in the
+	// module (literals inside a declaration attribute their calls to it).
+	adj := map[string][]string{}
+	for _, pkg := range c.All {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				from := FuncKey(obj)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := callee(pkg.Info, call).(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					path := fn.Pkg().Path()
+					if path != c.Module && !isUnder(path, c.Module) {
+						return true
+					}
+					adj[from] = append(adj[from], FuncKey(fn))
+					return true
+				})
+			}
+		}
+	}
+
+	var queue []string
+	for key := range c.NoAlloc {
+		queue = append(queue, key)
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		if a.reachable[key] {
+			continue
+		}
+		a.reachable[key] = true
+		queue = append(queue, adj[key]...)
+	}
+}
+
+func isUnder(path, module string) bool {
+	return len(path) > len(module) && path[:len(module)] == module && path[len(module)] == '/'
+}
+
+func (a *DeferHot) checkFunc(c *Context, fd *ast.FuncDecl) {
+	info := c.Pkg.Info
+	inlined := inlinedClosures(info, fd)
+	for _, fc := range funcContexts(fd) {
+		g := BuildCFG(info, fc.Body)
+		cyclic := g.CyclicBlocks()
+		for _, bl := range g.ReversePostorder() {
+			if !cyclic[bl] {
+				continue
+			}
+			for _, n := range bl.Nodes {
+				switch n.(type) {
+				case *ast.RangeStmt, *ast.SelectStmt:
+					continue // structural markers; bodies have their own blocks
+				}
+				if ds, ok := n.(*ast.DeferStmt); ok {
+					c.Reportf("deferhot", ds.Pos(), "defer inside a loop of a //gk:noalloc-reachable function allocates per iteration and only runs at return; restructure with an explicit call")
+					continue
+				}
+				// Visit literal nodes without descending into them (a
+				// literal's own loops are separate contexts); shallowWalk
+				// would skip the literal node itself.
+				ast.Inspect(n, func(m ast.Node) bool {
+					if m == nil {
+						return false
+					}
+					lit, ok := m.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					if !inlined.lits[lit] {
+						c.Reportf("deferhot", lit.Pos(), "closure allocated inside a loop of a //gk:noalloc-reachable function; hoist it out of the loop or inline the logic")
+					}
+					return false
+				})
+			}
+		}
+	}
+}

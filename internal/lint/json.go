@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the machine-readable schema of one finding, one JSON
+// object per line (JSON Lines): tooling consumes diagnostics without parsing
+// the human file:line:col rendering.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes diags to w as JSON Lines, preserving their order (Run
+// already sorts by file, line, column, analyzer).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONSchema pins the machine-readable schema: one JSON object per
+// line with exactly the file/line/col/analyzer/message fields, in input
+// order.
+func TestWriteJSONSchema(t *testing.T) {
+	diags := []Diagnostic{
+		{Position: token.Position{Filename: "a.go", Line: 3, Column: 7}, Analyzer: "lockcheck", Message: `mutex "mu" leaked`},
+		{Position: token.Position{Filename: "b.go", Line: 1, Column: 1}, Analyzer: "wrapcheck", Message: "opaque error"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d JSON lines, want %d", len(lines), len(diags))
+	}
+	want := []map[string]any{
+		{"file": "a.go", "line": float64(3), "col": float64(7), "analyzer": "lockcheck", "message": `mutex "mu" leaked`},
+		{"file": "b.go", "line": float64(1), "col": float64(1), "analyzer": "wrapcheck", "message": "opaque error"},
+	}
+	for i, line := range lines {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("line %d schema mismatch:\ngot  %v\nwant %v", i, got, want[i])
+		}
+	}
+}
+
+// TestWriteJSONEmpty: no findings means no output, not "null" or "[]".
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty diagnostic list produced output: %q", buf.String())
+	}
+}

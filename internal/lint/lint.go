@@ -17,6 +17,21 @@
 //     the goroutine it accounts for.
 //   - errcheck: no silently discarded error returns.
 //
+// Four further analyzers are flow-sensitive, built on a shared CFG and
+// forward-dataflow engine (cfg.go):
+//
+//   - lockcheck: every Lock released on every path out, no double-lock of
+//     the same receiver, and (in the streaming packages) no lock held across
+//     a blocking operation.
+//   - chanlife: streaming channels closed exactly once by the goroutine that
+//     owns the sends, never sent on after a reachable close, and bounded
+//     resubmit-style buffers actually drained.
+//   - wrapcheck: fault-path errors stay inside the declared sentinel
+//     taxonomy — constructed errors wrap a sentinel with %w or build a
+//     declared fault type, and errors.Is/As targets are declared sentinels.
+//   - deferhot: no defer or escaping closure allocation inside loops of
+//     functions reachable from the //gk:noalloc roots.
+//
 // Diagnostics are positional (file:line:col: analyzer: message) and
 // suppressible only by a //gk:allow <analyzer>: <reason> comment on the
 // flagged line or the line above; a justification is mandatory. The package
@@ -55,6 +70,12 @@ type Analyzer interface {
 // information, the module-wide //gk:noalloc annotation set, and a reporter.
 type Context struct {
 	Pkg *Package
+	// All is every package of the loaded module, for analyses that need a
+	// module-wide view (call-graph reachability, cross-package helpers).
+	All []*Package
+	// Fset positions module syntax, for messages that reference a second
+	// location.
+	Fset *token.FileSet
 	// Module is the module path; calls into packages under it are
 	// module-internal (noalloc requires their callees to be annotated too).
 	Module string
@@ -83,14 +104,19 @@ type Config struct {
 	ReportUnusedAllows bool
 }
 
-// DefaultAnalyzers returns the four repo analyzers with their production
-// scopes.
+// DefaultAnalyzers returns the eight repo analyzers with their production
+// scopes: the four syntactic passes of PR 6 and the four flow-sensitive
+// passes built on the CFG engine.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewNoAlloc(),
 		NewCoordSafe(),
 		NewStreamSafe(),
 		NewErrCheck(),
+		NewLockCheck(),
+		NewChanLife(),
+		NewWrapCheck(),
+		NewDeferHot(),
 	}
 }
 
@@ -110,7 +136,7 @@ func Run(m *Module, cfg Config) []Diagnostic {
 	}
 
 	for _, pkg := range m.Packages {
-		c := &Context{Pkg: pkg, Module: m.Path, NoAlloc: noalloc, report: report}
+		c := &Context{Pkg: pkg, All: m.Packages, Fset: m.Fset, Module: m.Path, NoAlloc: noalloc, report: report}
 		for _, a := range cfg.Analyzers {
 			a.Check(c)
 		}
@@ -175,6 +201,10 @@ func FuncKey(fn *types.Func) string {
 	name := "?"
 	if n, ok := t.(*types.Named); ok {
 		name = n.Obj().Name()
+	}
+	if fn.Pkg() == nil {
+		// Methods of universe types (error.Error) have no package.
+		return name + "." + fn.Name()
 	}
 	return fn.Pkg().Path() + "." + name + "." + fn.Name()
 }
@@ -281,25 +311,30 @@ func collectAllows(m *Module, analyzers map[string]bool) (*allowIndex, []Diagnos
 					if !strings.HasPrefix(text, allowMarker) {
 						continue
 					}
-					rest := strings.TrimSpace(strings.TrimPrefix(text, allowMarker))
-					name, reason, _ := strings.Cut(rest, ":")
-					name = strings.TrimSpace(name)
-					if !analyzers[name] {
-						diags = append(diags, Diagnostic{Position: pos, Analyzer: "lint",
-							Message: fmt.Sprintf("//gk:allow names unknown analyzer %q", name)})
-						continue
+					// One comment may carry several suppressions (a line with
+					// findings from two analyzers): each //gk:allow marker
+					// starts a new entry, with the reason running to the next
+					// marker.
+					for _, seg := range strings.Split(text, allowMarker)[1:] {
+						name, reason, _ := strings.Cut(seg, ":")
+						name = strings.TrimSpace(name)
+						if !analyzers[name] {
+							diags = append(diags, Diagnostic{Position: pos, Analyzer: "lint",
+								Message: fmt.Sprintf("//gk:allow names unknown analyzer %q", name)})
+							continue
+						}
+						if strings.TrimSpace(reason) == "" {
+							diags = append(diags, Diagnostic{Position: pos, Analyzer: "lint",
+								Message: fmt.Sprintf("//gk:allow %s needs a justification: //gk:allow %s: <reason>", name, name)})
+							continue
+						}
+						lines := idx.byLine[pos.Filename]
+						if lines == nil {
+							lines = map[int][]*allowEntry{}
+							idx.byLine[pos.Filename] = lines
+						}
+						lines[pos.Line] = append(lines[pos.Line], &allowEntry{pos: pos, analyzer: name})
 					}
-					if strings.TrimSpace(reason) == "" {
-						diags = append(diags, Diagnostic{Position: pos, Analyzer: "lint",
-							Message: fmt.Sprintf("//gk:allow %s needs a justification: //gk:allow %s: <reason>", name, name)})
-						continue
-					}
-					lines := idx.byLine[pos.Filename]
-					if lines == nil {
-						lines = map[int][]*allowEntry{}
-						idx.byLine[pos.Filename] = lines
-					}
-					lines[pos.Line] = append(lines[pos.Line], &allowEntry{pos: pos, analyzer: name})
 				}
 			}
 		}

@@ -134,6 +134,126 @@ func TestErrCheckGolden(t *testing.T) {
 	})
 }
 
+func TestLockCheckGolden(t *testing.T) {
+	a := NewLockCheck()
+	a.StreamPackages = map[string]bool{"lockcheck": true}
+	runGolden(t, "lockcheck", Config{
+		Analyzers:          []Analyzer{a},
+		ReportUnusedAllows: true,
+	})
+}
+
+func TestChanLifeGolden(t *testing.T) {
+	a := NewChanLife()
+	a.Packages = map[string]bool{"chanlife": true}
+	runGolden(t, "chanlife", Config{
+		Analyzers:          []Analyzer{a},
+		ReportUnusedAllows: true,
+	})
+}
+
+// testWrapCheck returns a WrapCheck re-scoped to the testdata package, with
+// ErrBoom/ErrLost, the Fault type, and engine.setErr as the taxonomy.
+func testWrapCheck() *WrapCheck {
+	return &WrapCheck{
+		Packages:   map[string]bool{"wrapcheck": true},
+		Sentinels:  map[string]bool{"wrapcheck.ErrBoom": true, "wrapcheck.ErrLost": true},
+		FaultTypes: map[string]bool{"wrapcheck.Fault": true},
+		Sinks:      map[string]int{"wrapcheck.engine.setErr": 0},
+		Module:     "wrapcheck",
+	}
+}
+
+func TestWrapCheckGolden(t *testing.T) {
+	runGolden(t, "wrapcheck", Config{
+		Analyzers:          []Analyzer{testWrapCheck()},
+		ReportUnusedAllows: true,
+	})
+}
+
+func TestDeferHotGolden(t *testing.T) {
+	runGolden(t, "deferhot", Config{
+		Analyzers:          []Analyzer{NewDeferHot()},
+		ReportUnusedAllows: true,
+	})
+}
+
+// TestAllowAuditGolden pins the suppression auditor's edge cases: an allow
+// above a statement spanning several lines, two suppressions for different
+// analyzers sharing one comment, and the malformed-allow diagnostics
+// (unknown analyzer name, missing justification).
+func TestAllowAuditGolden(t *testing.T) {
+	runGolden(t, "allowaudit", Config{
+		Analyzers:          []Analyzer{NewNoAlloc(), NewErrCheck()},
+		ReportUnusedAllows: true,
+	})
+}
+
+// TestNewAnalyzersNotVacuous re-runs each flow-sensitive analyzer over its
+// golden package and requires a minimum number of findings — a seeded-bug
+// guard against an analyzer going silently inert (wrong package scope,
+// wrong registry key, a CFG that never reports).
+func TestNewAnalyzersNotVacuous(t *testing.T) {
+	lock := NewLockCheck()
+	lock.StreamPackages = map[string]bool{"lockcheck": true}
+	chanl := NewChanLife()
+	chanl.Packages = map[string]bool{"chanlife": true}
+	cases := []struct {
+		name string
+		a    Analyzer
+		min  int
+	}{
+		{"lockcheck", lock, 7},
+		{"chanlife", chanl, 6},
+		{"wrapcheck", testWrapCheck(), 8},
+		{"deferhot", NewDeferHot(), 3},
+	}
+	for _, tc := range cases {
+		m, err := LoadDir(filepath.Join("testdata", "src", tc.name), tc.name)
+		if err != nil {
+			t.Fatalf("loading %s: %v", tc.name, err)
+		}
+		n := 0
+		for _, d := range Run(m, Config{Analyzers: []Analyzer{tc.a}}) {
+			if d.Analyzer == tc.name {
+				n++
+			}
+		}
+		if n < tc.min {
+			t.Errorf("%s: %d finding(s) on its seeded golden package, want at least %d — the analyzer may be vacuously clean", tc.name, n, tc.min)
+		}
+	}
+}
+
+// TestRunOrdersDiagnostics pins the deterministic output contract: Run
+// returns diagnostics sorted by (file, line, column, analyzer), whatever
+// order the analyzers reported them in.
+func TestRunOrdersDiagnostics(t *testing.T) {
+	lock := NewLockCheck()
+	lock.StreamPackages = map[string]bool{"lockcheck": true}
+	m, err := LoadDir(filepath.Join("testdata", "src", "lockcheck"), "lockcheck")
+	if err != nil {
+		t.Fatalf("loading lockcheck testdata: %v", err)
+	}
+	// Two analyzers interleave their findings across the same file.
+	diags := Run(m, Config{Analyzers: []Analyzer{NewErrCheck(), lock}})
+	if len(diags) < 2 {
+		t.Fatalf("expected several diagnostics to order, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		ka := []string{a.Position.Filename, strconv.Itoa(a.Position.Line), strconv.Itoa(a.Position.Column), a.Analyzer}
+		kb := []string{b.Position.Filename, strconv.Itoa(b.Position.Line), strconv.Itoa(b.Position.Column), b.Analyzer}
+		less := a.Position.Filename < b.Position.Filename ||
+			(a.Position.Filename == b.Position.Filename && (a.Position.Line < b.Position.Line ||
+				(a.Position.Line == b.Position.Line && (a.Position.Column < b.Position.Column ||
+					(a.Position.Column == b.Position.Column && a.Analyzer <= b.Analyzer)))))
+		if !less {
+			t.Errorf("diagnostics out of order: %v before %v", ka, kb)
+		}
+	}
+}
+
 // TestRepoIsLintClean is the self-test: gklint over this repository, with
 // the registry cross-check and stale-suppression reporting on, must find
 // nothing. This is exactly what cmd/gklint runs in CI.

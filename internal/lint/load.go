@@ -37,6 +37,12 @@ type Module struct {
 // on idioms (discarded setup errors, bare sends in fixtures) the analyzers
 // would drown in. Type information for imports is built by the standard
 // library's source importer, so no external loader dependency is needed.
+//
+// Every package is parsed first, then type-checked exactly once in
+// dependency order: a moduleImporter serves already-checked module packages
+// from its cache, so importing a module-internal package never re-runs the
+// source importer over it (which previously re-type-checked each package
+// once per importer).
 func LoadModule(root string) (*Module, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
@@ -47,7 +53,16 @@ func LoadModule(root string) (*Module, error) {
 		return nil, err
 	}
 	m := &Module{Path: modPath, Root: root, Fset: token.NewFileSet()}
-	imp := importer.ForCompiler(m.Fset, "source", nil)
+
+	// Parse pass: syntax plus each package's module-internal imports, which
+	// decide the checking order.
+	type parsedPkg struct {
+		dir, path string
+		files     []*ast.File
+		internal  []string
+	}
+	var ps []*parsedPkg
+	byPath := map[string]*parsedPkg{}
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -57,15 +72,86 @@ func LoadModule(root string) (*Module, error) {
 		if rel != "." {
 			path = modPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := loadPackage(m.Fset, imp, dir, path)
+		files, err := parseDir(m.Fset, dir)
 		if err != nil {
 			return nil, err
 		}
-		if pkg != nil {
-			m.Packages = append(m.Packages, pkg)
+		if files == nil {
+			continue
+		}
+		p := &parsedPkg{dir: dir, path: path, files: files}
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					p.internal = append(p.internal, ip)
+				}
+			}
+		}
+		ps = append(ps, p)
+		byPath[path] = p
+	}
+
+	// Check pass: depth-first over the internal import graph, caching each
+	// checked package so it is type-checked once however many packages
+	// import it.
+	mi := &moduleImporter{
+		std:  importer.ForCompiler(m.Fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var visit func(p *parsedPkg) error
+	visit = func(p *parsedPkg) error {
+		switch state[p.path] {
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.path)
+		case done:
+			return nil
+		}
+		state[p.path] = visiting
+		for _, ip := range p.internal {
+			if dep, ok := byPath[ip]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := checkPackage(m.Fset, mi, p.dir, p.path, p.files)
+		if err != nil {
+			return err
+		}
+		mi.pkgs[p.path] = pkg.Types
+		m.Packages = append(m.Packages, pkg)
+		state[p.path] = done
+		return nil
+	}
+	for _, p := range ps {
+		if err := visit(p); err != nil {
+			return nil, err
 		}
 	}
 	return m, nil
+}
+
+// moduleImporter resolves module-internal imports from the cache of packages
+// this load already type-checked, and delegates everything else (standard
+// library) to the shared source importer.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.pkgs[path]; ok {
+		return p, nil
+	}
+	return mi.std.Import(path)
 }
 
 // LoadDir loads a single directory as one package with the given synthetic
@@ -91,6 +177,16 @@ func LoadDir(dir, path string) (*Module, error) {
 }
 
 func loadPackage(fset *token.FileSet, imp types.Importer, dir, path string) (*Package, error) {
+	files, err := parseDir(fset, dir)
+	if err != nil || files == nil {
+		return nil, err
+	}
+	return checkPackage(fset, imp, dir, path, files)
+}
+
+// parseDir parses a directory's non-test Go files in filename order, or
+// returns nil files if there are none.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -115,6 +211,11 @@ func loadPackage(fset *token.FileSet, imp types.Importer, dir, path string) (*Pa
 		}
 		files = append(files, f)
 	}
+	return files, nil
+}
+
+// checkPackage type-checks already-parsed files as one package.
+func checkPackage(fset *token.FileSet, imp types.Importer, dir, path string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},

@@ -1,0 +1,29 @@
+// Package allowaudit is gklint testdata for the suppression auditor itself:
+// an allow above a statement that spans several lines, several suppressions
+// sharing one comment, and the malformed-allow diagnostics.
+package allowaudit
+
+func doErr() error { return nil }
+
+func doErr2(a, b int) error { return nil }
+
+func multiLine() {
+	//gk:allow errcheck: testdata allow above a statement spanning several lines
+	doErr2(
+		1,
+		2,
+	)
+}
+
+//gk:noalloc
+func hot() {
+	//gk:allow errcheck: testdata deliberate discard //gk:allow noalloc: testdata unannotated callee
+	_ = doErr()
+}
+
+func malformed() {
+	// want+1 "unknown analyzer"
+	//gk:allow nosuchpass: testdata bogus analyzer name
+	// want+1 "needs a justification"
+	//gk:allow errcheck
+}

@@ -1,0 +1,84 @@
+// Package deferhot is gklint analyzer testdata: no defer and no escaping
+// closure allocation inside loops of functions reachable from the
+// //gk:noalloc roots — whatever syntax (for, range, goto) spells the loop.
+package deferhot
+
+import "sync"
+
+func trace() {}
+
+func apply(f func() int) int { return f() }
+
+//gk:noalloc
+func kernelRoot(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += process(x)
+	}
+	return total
+}
+
+// process is not annotated itself, but it is reachable from kernelRoot.
+func process(x int) int {
+	for i := 0; i < 3; i++ {
+		defer trace() // want "defer inside a loop"
+		x += i
+	}
+	return x
+}
+
+//gk:noalloc
+func badClosureInLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += apply(func() int { return x * 2 }) // want "closure allocated inside a loop"
+	}
+	return total
+}
+
+//gk:noalloc
+func badGotoLoop(n int) {
+	i := 0
+loop:
+	if i < n {
+		defer trace() // want "defer inside a loop"
+		i++
+		goto loop
+	}
+}
+
+//gk:noalloc
+func goodDeferOutsideLoop(mu *sync.Mutex, xs []int) int {
+	mu.Lock()
+	defer mu.Unlock() // clean: entry block, runs once per call
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//gk:noalloc
+func goodHoistedClosure(xs []int) int {
+	double := func(x int) int { return x * 2 } // clean: allocated once, outside the loop
+	total := 0
+	for _, x := range xs {
+		total += double(x)
+	}
+	return total
+}
+
+// coldPath is reachable from no root: out of scope however it defers.
+func coldPath(xs []int) {
+	for range xs {
+		defer trace()
+	}
+}
+
+//gk:noalloc
+func allowedDeferInLoop(xs []int) {
+	for range xs {
+		//gk:allow deferhot: testdata justified per-iteration defer
+		defer trace()
+	}
+}

@@ -1,0 +1,109 @@
+// Package lockcheck is gklint analyzer testdata: every Lock must be
+// released on every path out, no double-lock of the same receiver, and no
+// lock held across a blocking operation (channel send/receive, select
+// without default, WaitGroup.Wait).
+package lockcheck
+
+import "sync"
+
+type engine struct {
+	mu      sync.Mutex
+	statsMu sync.RWMutex
+	n       int
+}
+
+func deferredUnlock(e *engine) int {
+	e.mu.Lock() // clean: deferred unlock covers every path
+	defer e.mu.Unlock()
+	return e.n
+}
+
+func branchUnlocks(e *engine, x int) int {
+	e.mu.Lock() // clean: explicit unlock on each branch
+	if x > 0 {
+		e.mu.Unlock()
+		return x
+	}
+	e.mu.Unlock()
+	return e.n
+}
+
+func readLock(e *engine) int {
+	e.statsMu.RLock() // clean: RLock with deferred RUnlock
+	defer e.statsMu.RUnlock()
+	return e.n
+}
+
+func badBranchLeak(e *engine, x int) int {
+	e.mu.Lock() // want "not released on every path"
+	if x > 0 {
+		return x
+	}
+	e.mu.Unlock()
+	return e.n
+}
+
+func badDoubleLock(e *engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mu.Lock() // want "may already be held"
+	e.mu.Unlock()
+}
+
+func badSendWhileLocked(e *engine, ch chan int) {
+	e.mu.Lock() // want "held across a blocking channel send"
+	ch <- e.n
+	e.mu.Unlock()
+}
+
+func goodSendAfterUnlock(e *engine, ch chan int) {
+	e.mu.Lock()
+	n := e.n
+	e.mu.Unlock()
+	ch <- n // clean: released before blocking
+}
+
+func badReceiveWhileLocked(e *engine, ch chan int) {
+	e.mu.Lock() // want "held across a blocking channel receive"
+	e.n = <-ch
+	e.mu.Unlock()
+}
+
+func badWaitWhileLocked(e *engine, wg *sync.WaitGroup) {
+	e.mu.Lock() // want "held across a blocking wg.Wait call"
+	wg.Wait()
+	e.mu.Unlock()
+}
+
+func badRangeWhileLocked(e *engine, ch chan int) {
+	e.mu.Lock() // want "held across a blocking range over a channel"
+	for v := range ch {
+		e.n += v
+	}
+	e.mu.Unlock()
+}
+
+func badSelectWhileLocked(e *engine, ch chan int, done chan struct{}) {
+	e.mu.Lock() // want "held across a blocking select"
+	select {
+	case ch <- e.n:
+	case <-done:
+	}
+	e.mu.Unlock()
+}
+
+func goodSelectDefault(e *engine, ch chan int) {
+	e.mu.Lock() // clean: a select with a default arm never blocks
+	defer e.mu.Unlock()
+	select {
+	case ch <- e.n:
+	default:
+	}
+}
+
+func allowedSerialization(e *engine, ch chan int) {
+	//gk:allow lockcheck: testdata stand-in for a documented whole-stream serialization
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ch <- e.n
+}

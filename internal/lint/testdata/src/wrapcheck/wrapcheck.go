@@ -1,0 +1,123 @@
+// Package wrapcheck is gklint analyzer testdata: fault-path errors must
+// stay inside the declared sentinel taxonomy, and errors.Is/As targets must
+// be declared sentinels/fault types. The golden test registers ErrBoom,
+// ErrLost, the Fault type, and engine.setErr as the taxonomy.
+package wrapcheck
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var (
+	ErrBoom  = errors.New("boom")
+	ErrLost  = errors.New("lost")
+	ErrRogue = errors.New("rogue") // want "not in the declared sentinel registry"
+)
+
+// Fault is the declared rich fault type.
+type Fault struct {
+	Kind error
+	Err  error
+}
+
+func (f *Fault) Error() string   { return f.Kind.Error() }
+func (f *Fault) Unwrap() []error { return []error{f.Kind, f.Err} }
+
+type engine struct{ err error }
+
+func (e *engine) setErr(err error) { e.err = err }
+
+func wrapsSentinel(cause error) error {
+	return fmt.Errorf("%w: during flush: %v", ErrBoom, cause) // clean: %w of a sentinel
+}
+
+func buildsFaultType(cause error) error {
+	return &Fault{Kind: ErrBoom, Err: cause} // clean: declared fault type
+}
+
+func passesThrough(cause error) error {
+	if cause != nil {
+		return fmt.Errorf("attempt 1: %w", cause) // clean: someone else's error, wrapped
+	}
+	return ErrLost
+}
+
+func badFresh(x int) error {
+	if x < 0 {
+		return errors.New("negative input") // want "returned fault-path error is a fresh error"
+	}
+	return ErrBoom
+}
+
+func badNoWrapVerb(x int) error {
+	if x < 0 {
+		return fmt.Errorf("bad input %d", x) // want "returned fault-path error is a fresh error"
+	}
+	return fmt.Errorf("%w: x=%d", ErrLost, x)
+}
+
+func badLaundered(base error) error {
+	if errors.Is(base, ErrBoom) {
+		return base
+	}
+	err := errors.New("fresh")
+	return fmt.Errorf("wrapped: %w", err) // want "returned fault-path error is a fresh error"
+}
+
+func badSink(e *engine) {
+	e.setErr(errors.New("oops")) // want "error passed to the stream fault sink"
+}
+
+func goodSink(e *engine, cause error) {
+	e.setErr(fmt.Errorf("%w: %v", ErrLost, cause)) // clean: sink fed a sentinel wrap
+}
+
+func badFieldStore(f *Fault) {
+	if f.Kind == ErrBoom {
+		f.Err = errors.New("detail") // want "error stored in a fault struct field"
+	}
+}
+
+func badIsLocal(err error) bool {
+	adhoc := errors.New("adhoc")
+	return errors.Is(err, adhoc) // want "not a package-level sentinel"
+}
+
+func badIsUnregistered(err error) bool {
+	return errors.Is(err, ErrRogue) // want "not a declared sentinel"
+}
+
+func goodIsStd(err error) bool {
+	return errors.Is(err, io.EOF) // clean: targets outside the module are exempt
+}
+
+type localErr struct{ msg string }
+
+func (e *localErr) Error() string { return e.msg }
+
+func badAsUndeclared(err error) bool {
+	var le *localErr
+	return errors.As(err, &le) // want "not a declared fault type"
+}
+
+func goodAsDeclared(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) // clean: declared fault type
+}
+
+func validateOnly(x int) error {
+	if x < 0 {
+		return fmt.Errorf("x must be non-negative, got %d", x) // clean: not a fault path
+	}
+	return nil
+}
+
+func allowedOpaque(x int) error {
+	if x < 0 {
+		//gk:allow wrapcheck: testdata pre-taxonomy compatibility path
+		return errors.New("legacy failure")
+	}
+	return ErrBoom
+}

@@ -235,13 +235,8 @@ func NewFromSerializedIndex(ref *Reference, path string, cfg Config) (*Mapper, e
 	if err != nil {
 		return nil, err
 	}
-	if cfg.SeedLen != 0 && cfg.SeedLen != idx.K() {
-		return nil, fmt.Errorf("%w: config seed length %d, index built with k=%d",
-			ErrIndexMismatch, cfg.SeedLen, idx.K())
-	}
-	if cfg.SeedStep != 0 && cfg.SeedStep != idx.Step() {
-		return nil, fmt.Errorf("%w: config seed step %d, index built with step=%d",
-			ErrIndexMismatch, cfg.SeedStep, idx.Step())
+	if err := checkIndexGeometry(cfg, idx); err != nil {
+		return nil, err
 	}
 	cfg.SeedLen, cfg.SeedStep = idx.K(), idx.Step()
 	cfg.applyDefaults()
@@ -259,6 +254,20 @@ func NewFromSerializedIndex(ref *Reference, path string, cfg Config) (*Mapper, e
 			cfg.SeedStep, cfg.ReadLen-cfg.SeedLen+1)
 	}
 	return newMapperWithIndex(ref, cfg, idx)
+}
+
+// checkIndexGeometry verifies a non-zero configured seed geometry against a
+// loaded index; a disagreement is an ErrIndexMismatch.
+func checkIndexGeometry(cfg Config, idx *Index) error {
+	if cfg.SeedLen != 0 && cfg.SeedLen != idx.K() {
+		return fmt.Errorf("%w: config seed length %d, index built with k=%d",
+			ErrIndexMismatch, cfg.SeedLen, idx.K())
+	}
+	if cfg.SeedStep != 0 && cfg.SeedStep != idx.Step() {
+		return fmt.Errorf("%w: config seed step %d, index built with step=%d",
+			ErrIndexMismatch, cfg.SeedStep, idx.Step())
+	}
+	return nil
 }
 
 // Index exposes the underlying k-mer index.

@@ -255,13 +255,14 @@ func (m *Mapper) mapQueryStream(e int, feed func(ctx context.Context, out chan<-
 		// results back and forwards accepted candidates to verification.
 		metas := &metaQueue{}
 		go func() {
-			defer func() {
-				if candIn != nil {
-					close(candIn)
-				} else {
-					close(pairIn)
-				}
-			}()
+			// This goroutine is the channel's only sender, so it closes; the
+			// defer runs after the seededCh range (and so after seedWg.Wait)
+			// has finished.
+			if candIn != nil {
+				defer close(candIn)
+			} else {
+				defer close(pairIn)
+			}
 			for s := range seededCh {
 				for _, pos := range s.cands {
 					candCount.Add(1)
